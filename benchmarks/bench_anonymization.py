@@ -1,0 +1,17 @@
+"""E6 — data transparency: k-anonymisation vs measured unfairness."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_anonymization(benchmark):
+    outcome = run_and_report(benchmark, "E6", size=300, seed=7, k_values=(1, 2, 5, 10, 20))
+    global_table, mondrian_table = outcome.tables
+
+    records = {record["k"]: record for record in global_table.to_records()}
+    # Expected shape: unfairness measured on anonymised data never exceeds the
+    # raw-data measurement, and the strongest anonymisation hides the most.
+    assert records[20]["unfairness"] <= records[1]["unfairness"] + 1e-9
+    assert records[20]["generalisation intensity"] >= records[2]["generalisation intensity"] - 1e-9
+
+    mondrian_records = {record["k"]: record for record in mondrian_table.to_records()}
+    assert mondrian_records[20]["unfairness"] <= mondrian_records[1]["unfairness"] + 1e-9

@@ -1,0 +1,13 @@
+"""E8 — AUDITOR scenario: marketplace-wide fairness report."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_auditor_scenario(benchmark):
+    outcome = run_and_report(benchmark, "E8", size=300, seed=7)
+    report_table, anonymization_table = outcome.tables
+    # One row per job of the simulated marketplace.
+    assert len(report_table) == 4
+    assert all(value >= 0.0 for value in report_table.column("unfairness"))
+    # The anonymisation follow-up covers k = 1, 2, 5, 10 on the first job.
+    assert anonymization_table.column("k") == [1, 2, 5, 10]

@@ -1,0 +1,14 @@
+"""E10 — END-USER scenario: how a group fares across jobs and marketplaces."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_end_user_scenario(benchmark):
+    outcome = run_and_report(benchmark, "E10", workers=250, seed=11)
+    assert len(outcome.tables) >= 2
+    for table in outcome.tables:
+        assert len(table) >= 1
+        assert any("best option" in note for note in table.notes)
+        # Rows are sorted so the group's best option comes first.
+        gaps = table.column("gap")
+        assert gaps == sorted(gaps, reverse=True)

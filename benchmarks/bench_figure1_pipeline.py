@@ -1,0 +1,12 @@
+"""E3 — Figure 1: the end-to-end engine pipeline (dataset -> panels)."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_figure1_pipeline(benchmark):
+    outcome = run_and_report(benchmark, "E3", size=300, seed=7)
+    table = outcome.tables[0]
+    # One panel per pipeline variation (base, second function, filtered,
+    # anonymised, ranks-only).
+    assert len(table) == 5
+    assert all(value >= 0.0 for value in table.column("unfairness"))

@@ -1,0 +1,19 @@
+"""E2 — Figure 2: regenerate the worked-example partitioning and its histograms."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_figure2_partitioning(benchmark):
+    outcome = run_and_report(benchmark, "E2")
+    figure2, comparison = outcome.tables
+    labels = set(figure2.column("partition"))
+    assert labels == {
+        "Gender=Male, Language=English",
+        "Gender=Male, Language=Indian",
+        "Gender=Male, Language=Other",
+        "Gender=Female",
+    }
+    assert sum(figure2.column("size")) == 10
+    # QUANTIFY must do at least as well as the illustrative partitioning.
+    values = dict(zip(comparison.column("partitioning"), comparison.column("unfairness")))
+    assert values["QUANTIFY (greedy search)"] >= values["Figure 2 (paper's illustration)"] - 1e-9

@@ -1,0 +1,24 @@
+"""E5 — fairness formulations: objective x aggregation x distance."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_formulations(benchmark):
+    outcome = run_and_report(benchmark, "E5", size=300, seed=7)
+    records = outcome.tables[0].to_records()
+    assert len(records) == 18  # 2 objectives x 3 aggregations x 3 distances
+
+    def value(objective, aggregation, distance):
+        for record in records:
+            if (record["objective"], record["aggregation"], record["distance"]) == (
+                objective, aggregation, distance,
+            ):
+                return record["unfairness"]
+        raise AssertionError("missing combination")
+
+    # The least-unfair search can never report more unfairness than the
+    # most-unfair search under the same aggregation/distance.
+    for aggregation in ("average", "maximum", "variance"):
+        for distance in ("emd", "total_variation", "mean_gap"):
+            assert value("least_unfair", aggregation, distance) <= \
+                value("most_unfair", aggregation, distance) + 1e-9

@@ -1,0 +1,18 @@
+"""E4 — greedy QUANTIFY vs the exhaustive optimum: quality ratio and speed-up."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_greedy_vs_exhaustive(benchmark):
+    outcome = run_and_report(
+        benchmark, "E4", sizes=(60, 120, 200), attribute_counts=(2, 3), seed=7
+    )
+    records = outcome.tables[0].to_records()
+    assert records
+    for record in records:
+        # The heuristic can never beat the exact optimum...
+        assert record["ratio"] <= 1.0 + 1e-9
+        # ...and on these small instances it should stay close to it.
+        assert record["ratio"] >= 0.5
+        # The exhaustive search explores a much larger space.
+        assert record["search space"] >= 3

@@ -1,0 +1,14 @@
+"""E9 — JOB OWNER scenario: scoring-function variants for one job."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_job_owner_scenario(benchmark):
+    outcome = run_and_report(benchmark, "E9", size=300, seed=7, sweep_steps=5)
+    table = outcome.tables[0]
+    assert len(table) >= 5  # base function plus the weight sweep
+    values = table.column("unfairness")
+    assert values == sorted(values)  # fairest first
+    # Different weightings must produce measurably different unfairness.
+    assert len({round(v, 6) for v in values}) > 1
+    assert any("recommended" in note for note in table.notes)

@@ -1,0 +1,23 @@
+"""E11 — scalability: QUANTIFY runtime vs population size and #attributes.
+
+Tests the paper's claim that the greedy heuristic keeps response time
+interactive ("to enable interactive response time, FaiRank relies on an
+efficient heuristic algorithm").
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_scalability(benchmark):
+    outcome = run_and_report(benchmark, "E11", sizes=(100, 300, 1_000, 3_000), seed=7)
+    records = outcome.tables[0].to_records()
+    assert len(records) == 12  # 4 sizes x 3 attribute counts
+    # Interactivity claim: every configuration stays well under 10 seconds.
+    assert all(record["runtime (s)"] < 10.0 for record in records)
+    # The measured work (splits evaluated) grows with the number of attributes.
+    by_size = {}
+    for record in records:
+        by_size.setdefault(record["n"], []).append(record)
+    for rows in by_size.values():
+        rows.sort(key=lambda r: r["#attributes"])
+        assert rows[0]["splits evaluated"] <= rows[-1]["splits evaluated"]

@@ -1,0 +1,11 @@
+"""E1 — Table 1: regenerate the example dataset and its published f(w) scores."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_table1_example(benchmark):
+    outcome = run_and_report(benchmark, "E1")
+    table = outcome.tables[0]
+    # Every published score must be reproduced exactly (weights 0.3 / 0.7).
+    assert len(table) == 10
+    assert all(row[-1] == "yes" for row in table.rows)

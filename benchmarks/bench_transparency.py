@@ -1,0 +1,16 @@
+"""E7 — function transparency: true scores vs rank-only histograms."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_transparency(benchmark):
+    outcome = run_and_report(benchmark, "E7", size=300, seed=7)
+    records = outcome.tables[0].to_records()
+    assert len(records) == 3
+    for record in records:
+        assert record["true-score unfairness"] >= 0.0
+        assert record["rank-linear unfairness"] >= 0.0
+        assert record["rank-exposure unfairness"] >= 0.0
+    # Rank-only analysis should agree with the true function on which group
+    # is least favoured for at least one of the three jobs.
+    assert any(record["same least-favored group"] == "yes" for record in records)

@@ -1,0 +1,45 @@
+"""END-USER scenario: decide where to look for a job.
+
+A young female worker compares how two French freelancing platforms (Qapa-like
+and MisterTemp'-like simulated crawls) treat her group for the jobs they offer
+— the paper's example of "Young professionals in Grenoble" looking at
+"installing wood panels" — and decides which platform/job to target.
+
+Run with:  python examples/end_user_decision.py
+"""
+
+from __future__ import annotations
+
+from repro.marketplace import MarketplaceCrawler
+from repro.roles import EndUser
+
+
+def main() -> None:
+    crawler = MarketplaceCrawler(seed=11)
+    qapa = crawler.crawl("qapa-sim", workers=400)
+    mistertemp = crawler.crawl("mistertemp-sim", workers=400)
+
+    end_user = EndUser({"Gender": "Female", "Age Band": "18-29"})
+    print(f"End-user group: {end_user.group_label()}\n")
+
+    print("How every job on the Qapa-like platform treats this group:")
+    print(end_user.compare_jobs(qapa).render())
+    print()
+
+    print("The same job ('Installing wood panels') across both platforms:")
+    print(end_user.compare_marketplaces([qapa, mistertemp], "Installing wood panels").render())
+    print()
+
+    outcome = end_user.assess_job(qapa, "Installing wood panels")
+    print("Detail for Qapa / Installing wood panels:")
+    print(f"  group size:            {outcome.group_size} of {outcome.population_size} candidates")
+    print(f"  group mean score:      {outcome.mean_score:.3f} "
+          f"(population {outcome.population_mean_score:.3f}, gap {outcome.score_gap:+.3f})")
+    print(f"  mean rank:             {outcome.mean_rank:.1f}")
+    print(f"  exposure share:        {outcome.exposure_share:.1%}")
+    print(f"  EMD vs rest:           {outcome.emd_vs_rest:.3f}")
+    print(f"  flagged as unfair:     {'yes' if outcome.flagged_unfair else 'no'}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Transparency study: what can be measured when data or the function is hidden?
+
+Builds a synthetic crowdsourcing population with a planted intersectional
+bias, then quantifies unfairness under the four transparency combinations the
+paper discusses:
+
+* raw attributes + visible scoring function (full transparency);
+* k-anonymised attributes + visible function (limited data transparency);
+* raw attributes + only the ranking (limited function transparency);
+* k-anonymised attributes + only the ranking (the black-box marketplace).
+
+Run with:  python examples/transparency_study.py
+"""
+
+from __future__ import annotations
+
+from repro.data.filters import TrueFilter
+from repro.experiments.workloads import biased_population
+from repro.scoring import LinearScoringFunction
+from repro.session import FaiRankEngine, SessionConfig
+
+
+def main() -> None:
+    population, bias = biased_population(size=500, seed=7, penalty=-0.3)
+    print(f"Planted bias: {bias.describe()}\n")
+
+    engine = FaiRankEngine()
+    engine.register_dataset(population, name="crowdsourcing")
+    engine.register_function(
+        LinearScoringFunction({"Language Test": 0.5, "Rating": 0.5}, name="balanced-job")
+    )
+
+    attributes = ("Gender", "Country", "Language", "Ethnicity")
+    settings = [
+        ("full transparency", dict(anonymity_k=1, use_ranks_only=False)),
+        ("5-anonymised data", dict(anonymity_k=5, use_ranks_only=False)),
+        ("ranks only", dict(anonymity_k=1, use_ranks_only=True)),
+        ("5-anonymised + ranks only", dict(anonymity_k=5, use_ranks_only=True)),
+    ]
+    for label, overrides in settings:
+        config = SessionConfig(
+            "crowdsourcing", "balanced-job",
+            attributes=attributes, min_partition_size=5, **overrides,
+        )
+        engine.open_panel(config, panel_id=label)
+
+    table = engine.compare()
+    table.title = "Unfairness of the same job under four transparency settings"
+    print(table.render())
+    print()
+
+    full = engine.panel("full transparency")
+    print("Most-unfair partitioning under full transparency "
+          f"(unfairness {full.unfairness:.4f}):")
+    for label in full.partition_labels():
+        box = full.node_box(label)
+        print(f"  {label:<60} n={box['size']:<4} mean={box['score_mean']:.3f}")
+    print()
+    print("Reading: k-anonymisation coarsens the protected attributes, so the planted "
+          "subgroup can no longer be isolated and the measured unfairness drops. "
+          "Rank-only analysis changes the scale of the EMD (scores are rebuilt from "
+          "positions) but still identifies the same least-favoured subgroup.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""FaiRank reproduction: exploring fairness of ranking in online job marketplaces.
+
+This package reproduces the system described in *FaiRank: An Interactive
+System to Explore Fairness of Ranking in Online Job Marketplaces* (Ghizzawi,
+Marinescu, Elbassuoni, Amer-Yahia, Bisson — EDBT 2019).  The public API
+re-exported here covers the most common entry points:
+
+* data: :class:`~repro.data.Dataset`, :func:`~repro.data.load_example_table1`
+* scoring: :class:`~repro.scoring.LinearScoringFunction`,
+  :class:`~repro.scoring.RankDerivedScorer`
+* core: :func:`~repro.core.quantify` (Algorithm 1),
+  :func:`~repro.core.exhaustive_search`, :func:`~repro.core.unfairness`,
+  :class:`~repro.core.Formulation`, :class:`~repro.core.FairnessProblem`
+* roles: :class:`~repro.roles.Auditor`, :class:`~repro.roles.JobOwner`,
+  :class:`~repro.roles.EndUser`
+* session: :class:`~repro.session.FaiRankEngine`,
+  :class:`~repro.session.SessionConfig`
+
+See README.md for a quickstart and DESIGN.md for the system inventory.
+"""
+
+from repro.core import (
+    Aggregation,
+    FairnessProblem,
+    Formulation,
+    Objective,
+    Partition,
+    Partitioning,
+    exhaustive_search,
+    quantify,
+    unfairness,
+    unfairness_breakdown,
+)
+from repro.data import Dataset, Schema, load_example_table1
+from repro.errors import FaiRankError
+from repro.marketplace import CrowdsourcingGenerator, Job, Marketplace, MarketplaceCrawler
+from repro.roles import Auditor, EndUser, JobOwner
+from repro.scoring import LinearScoringFunction, RankDerivedScorer, ScoringFunction
+from repro.session import FaiRankEngine, SessionConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "FaiRankError",
+    "Dataset",
+    "Schema",
+    "load_example_table1",
+    "ScoringFunction",
+    "LinearScoringFunction",
+    "RankDerivedScorer",
+    "Partition",
+    "Partitioning",
+    "Formulation",
+    "Objective",
+    "Aggregation",
+    "quantify",
+    "exhaustive_search",
+    "unfairness",
+    "unfairness_breakdown",
+    "FairnessProblem",
+    "Marketplace",
+    "Job",
+    "CrowdsourcingGenerator",
+    "MarketplaceCrawler",
+    "Auditor",
+    "JobOwner",
+    "EndUser",
+    "FaiRankEngine",
+    "SessionConfig",
+]

@@ -1,0 +1,41 @@
+"""k-anonymisation substrate replacing the ARX tool (S9)."""
+
+from repro.anonymize.hierarchy import (
+    SUPPRESSED,
+    CategoricalHierarchy,
+    GeneralizationHierarchy,
+    IntervalHierarchy,
+    identity_hierarchy,
+)
+from repro.anonymize.kanonymity import (
+    AnonymizationResult,
+    GlobalRecodingAnonymizer,
+    MondrianAnonymizer,
+    default_hierarchies,
+    equivalence_classes,
+    is_k_anonymous,
+)
+from repro.anonymize.metrics import (
+    InformationLoss,
+    average_class_size_ratio,
+    discernibility,
+    information_loss,
+)
+
+__all__ = [
+    "SUPPRESSED",
+    "GeneralizationHierarchy",
+    "CategoricalHierarchy",
+    "IntervalHierarchy",
+    "identity_hierarchy",
+    "GlobalRecodingAnonymizer",
+    "MondrianAnonymizer",
+    "AnonymizationResult",
+    "is_k_anonymous",
+    "equivalence_classes",
+    "default_hierarchies",
+    "InformationLoss",
+    "information_loss",
+    "discernibility",
+    "average_class_size_ratio",
+]

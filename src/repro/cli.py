@@ -1,0 +1,223 @@
+"""Command-line interface for the FaiRank reproduction.
+
+Four subcommands cover the common entry points without writing any Python:
+
+* ``fairank table1`` — print the paper's Table 1 example and its scores;
+* ``fairank quantify`` — run the QUANTIFY search on a CSV file (or the
+  built-in example), under any formulation / transparency setting;
+* ``fairank audit`` — run the AUDITOR scenario on a simulated platform crawl;
+* ``fairank experiments`` — regenerate one or all of the E1–E12 experiment
+  tables recorded in EXPERIMENTS.md.
+
+The CLI is a thin veneer over the public API; everything it does can be done
+programmatically (see README.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.core.formulations import Formulation
+from repro.core.quantify import quantify
+from repro.core.unfairness import unfairness_breakdown
+from repro.data.loaders import TABLE1_WEIGHTS, load_csv, load_example_table1
+from repro.errors import FaiRankError
+from repro.marketplace.crawler import MarketplaceCrawler, available_platforms
+from repro.roles.auditor import Auditor
+from repro.scoring.linear import LinearScoringFunction
+from repro.scoring.rank import RankDerivedScorer
+from repro.session.render import render_tree
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="fairank",
+        description="Explore fairness of ranking in online job marketplaces (FaiRank reproduction).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    # -- table1 ----------------------------------------------------------------
+    subparsers.add_parser("table1", help="print the paper's Table 1 example dataset and scores")
+
+    # -- quantify --------------------------------------------------------------
+    quantify_parser = subparsers.add_parser(
+        "quantify", help="run the QUANTIFY search on a dataset"
+    )
+    quantify_parser.add_argument("--csv", help="CSV file with a header row (default: built-in Table 1)")
+    quantify_parser.add_argument("--protected", nargs="+",
+                                 help="protected attribute columns (required with --csv)")
+    quantify_parser.add_argument("--observed", nargs="+",
+                                 help="observed (skill) attribute columns (required with --csv)")
+    quantify_parser.add_argument("--weight", action="append", default=[],
+                                 metavar="ATTR=W",
+                                 help="scoring weight, e.g. --weight Rating=0.7 (repeatable; "
+                                      "default: equal weights over all observed attributes)")
+    quantify_parser.add_argument("--objective", default="most_unfair",
+                                 choices=["most_unfair", "least_unfair"])
+    quantify_parser.add_argument("--aggregation", default="average",
+                                 choices=["average", "maximum", "minimum", "variance"])
+    quantify_parser.add_argument("--distance", default="emd")
+    quantify_parser.add_argument("--bins", type=int, default=5)
+    quantify_parser.add_argument("--attributes", nargs="+",
+                                 help="protected attributes the search may split on (default: all)")
+    quantify_parser.add_argument("--min-partition-size", type=int, default=1)
+    quantify_parser.add_argument("--max-depth", type=int, default=None)
+    quantify_parser.add_argument("--ranks-only", action="store_true",
+                                 help="analyse the induced ranking instead of the scores "
+                                      "(function-opaque setting)")
+    quantify_parser.add_argument("--no-tree", action="store_true",
+                                 help="print only the summary, not the partitioning tree")
+
+    # -- audit -----------------------------------------------------------------
+    audit_parser = subparsers.add_parser(
+        "audit", help="AUDITOR scenario on a simulated marketplace crawl"
+    )
+    audit_parser.add_argument("--platform", default="taskrabbit-sim",
+                              choices=list(available_platforms()))
+    audit_parser.add_argument("--workers", type=int, default=300)
+    audit_parser.add_argument("--seed", type=int, default=11)
+    audit_parser.add_argument("--min-partition-size", type=int, default=5)
+    audit_parser.add_argument("--attributes", nargs="+", default=None)
+
+    # -- experiments -------------------------------------------------------------
+    experiments_parser = subparsers.add_parser(
+        "experiments", help="regenerate the E1-E12 experiment tables"
+    )
+    experiments_parser.add_argument("ids", nargs="*",
+                                    help="experiment ids to run (default: all), e.g. E1 E4")
+
+    return parser
+
+
+def _parse_weights(raw_weights: Sequence[str]) -> dict:
+    weights = {}
+    for entry in raw_weights:
+        if "=" not in entry:
+            raise FaiRankError(f"invalid --weight {entry!r}; expected ATTR=WEIGHT")
+        attribute, _, value = entry.partition("=")
+        try:
+            weights[attribute.strip()] = float(value)
+        except ValueError:
+            raise FaiRankError(f"invalid weight value in {entry!r}") from None
+    return weights
+
+
+def _load_dataset(args: argparse.Namespace):
+    if args.csv:
+        if not args.protected or not args.observed:
+            raise FaiRankError("--csv requires --protected and --observed column lists")
+        return load_csv(args.csv, protected_names=args.protected, observed_names=args.observed)
+    return load_example_table1()
+
+
+def _build_function(args: argparse.Namespace, dataset) -> LinearScoringFunction:
+    weights = _parse_weights(args.weight)
+    if not weights:
+        if args.csv:
+            weights = {name: 1.0 for name in dataset.schema.observed_names}
+        else:
+            weights = dict(TABLE1_WEIGHTS)
+    function = LinearScoringFunction(weights, name="cli-scoring-function")
+    function.validate_against(dataset.schema)
+    return function
+
+
+def _cmd_table1(_: argparse.Namespace) -> int:
+    dataset = load_example_table1()
+    function = LinearScoringFunction(TABLE1_WEIGHTS, name="table1-f")
+    scores = function.score_map(dataset)
+    header = ("uid", "Gender", "Country", "Language", "Ethnicity", "Language Test", "Rating", "f(w)")
+    print(" | ".join(header))
+    for individual in dataset:
+        print(" | ".join(str(x) for x in (
+            individual.uid, individual["Gender"], individual["Country"],
+            individual["Language"], individual["Ethnicity"],
+            individual["Language Test"], individual["Rating"],
+            round(scores[individual.uid], 3),
+        )))
+    return 0
+
+
+def _cmd_quantify(args: argparse.Namespace) -> int:
+    dataset = _load_dataset(args)
+    function = _build_function(args, dataset)
+    formulation = Formulation.from_names(
+        objective=args.objective,
+        aggregation=args.aggregation,
+        distance=args.distance,
+        bins=args.bins,
+    )
+    effective_function = function
+    if args.ranks_only:
+        effective_function = RankDerivedScorer(function.rank(dataset), name="cli-from-ranks")
+    result = quantify(
+        dataset,
+        effective_function,
+        formulation=formulation,
+        attributes=args.attributes,
+        max_depth=args.max_depth,
+        min_partition_size=args.min_partition_size,
+    )
+    breakdown = unfairness_breakdown(result.partitioning, effective_function, formulation)
+    print(f"dataset: {dataset.name} ({len(dataset)} individuals)")
+    print(f"scoring function: {function.describe()}"
+          + (" [analysed via ranks only]" if args.ranks_only else ""))
+    print(f"formulation: {formulation.describe()}")
+    print(f"unfairness: {result.unfairness:.4f} over {len(result.partitioning)} groups")
+    print(f"most favored:  {breakdown.most_favored}")
+    print(f"least favored: {breakdown.least_favored}")
+    if not args.no_tree:
+        print()
+        print(render_tree(result.tree, effective_function, formulation))
+    return 0
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    marketplace = MarketplaceCrawler(seed=args.seed).crawl(args.platform, workers=args.workers)
+    auditor = Auditor(attributes=args.attributes, min_partition_size=args.min_partition_size)
+    report = auditor.audit_marketplace(marketplace)
+    print(marketplace.describe())
+    print()
+    print(report.render())
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments.harness import registry, run_all, run_experiment
+
+    if args.ids:
+        outcomes = [run_experiment(experiment_id) for experiment_id in args.ids]
+    else:
+        outcomes = run_all()
+    for outcome in outcomes:
+        print(outcome.render())
+        print()
+    return 0
+
+
+_COMMANDS = {
+    "table1": _cmd_table1,
+    "quantify": _cmd_quantify,
+    "audit": _cmd_audit,
+    "experiments": _cmd_experiments,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except FaiRankError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

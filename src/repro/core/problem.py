@@ -1,0 +1,141 @@
+"""Problem statements: the (Most/Least) Unfair Partitioning Problem.
+
+This module packages Definition 1 of the paper as a value object: a dataset,
+a scoring function, the protected attributes in play, and the unfairness
+formulation to optimise.  A :class:`FairnessProblem` can be solved either
+with the greedy heuristic (:func:`~repro.core.quantify.quantify`) or exactly
+(:func:`~repro.core.exhaustive.exhaustive_search`), and remembers enough
+context to be re-solved under a different formulation — which is exactly the
+"modify the scoring function or the fairness formulation and obtain several
+panels" interaction of the demo.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Sequence, Tuple, Union
+
+from repro.core.exhaustive import ExhaustiveResult, exhaustive_search
+from repro.core.formulations import Formulation, MOST_UNFAIR_AVG_EMD, Objective
+from repro.core.quantify import QuantifyResult, quantify
+from repro.data.dataset import Dataset
+from repro.data.filters import Filter, TrueFilter, apply_filter
+from repro.errors import PartitioningError, ScoringError
+from repro.scoring.base import ScoringFunction
+from repro.scoring.linear import LinearScoringFunction
+
+__all__ = ["FairnessProblem", "SolveMethod"]
+
+SolveMethod = Union[QuantifyResult, ExhaustiveResult]
+
+
+@dataclass(frozen=True)
+class FairnessProblem:
+    """An instance of the (Most/Least) Unfair Partitioning Problem.
+
+    Attributes
+    ----------
+    dataset:
+        The population of individuals W.
+    function:
+        The scoring function f under audit.
+    formulation:
+        Objective, aggregation, distance and binning.
+    attributes:
+        The protected attributes A the partitioning may use (None = all
+        protected attributes of the dataset schema).
+    row_filter:
+        Optional pre-filter on the population (e.g. "only individuals who
+        speak Arabic"), applied before partitioning.
+    """
+
+    dataset: Dataset
+    function: ScoringFunction
+    formulation: Formulation = MOST_UNFAIR_AVG_EMD
+    attributes: Optional[Tuple[str, ...]] = None
+    row_filter: Filter = TrueFilter()
+
+    def __post_init__(self) -> None:
+        if self.attributes is not None:
+            object.__setattr__(self, "attributes", tuple(self.attributes))
+            for attribute in self.attributes:
+                self.dataset.schema.require_protected(attribute)
+        if isinstance(self.function, LinearScoringFunction):
+            self.function.validate_against(self.dataset.schema)
+
+    # -- derived views ---------------------------------------------------------
+
+    @property
+    def population(self) -> Dataset:
+        """The dataset after applying the row filter."""
+        if isinstance(self.row_filter, TrueFilter):
+            return self.dataset
+        filtered = apply_filter(self.dataset, self.row_filter)
+        if not len(filtered):
+            raise PartitioningError(
+                f"the filter ({self.row_filter.describe()}) matches no individuals"
+            )
+        return filtered
+
+    @property
+    def protected_attributes(self) -> Tuple[str, ...]:
+        """The attributes the partitioning may split on."""
+        if self.attributes is not None:
+            return self.attributes
+        return self.dataset.schema.protected_names
+
+    def describe(self) -> str:
+        parts = [
+            f"population: {self.dataset.name} (n={len(self.dataset)})",
+            f"scoring function: {self.function.describe()}",
+            f"formulation: {self.formulation.describe()}",
+            f"protected attributes: {', '.join(self.protected_attributes)}",
+        ]
+        if not isinstance(self.row_filter, TrueFilter):
+            parts.append(f"filter: {self.row_filter.describe()}")
+        return "\n".join(parts)
+
+    # -- variants ---------------------------------------------------------------
+
+    def with_function(self, function: ScoringFunction) -> "FairnessProblem":
+        """Same problem, different scoring function (job-owner exploration)."""
+        return replace(self, function=function)
+
+    def with_formulation(self, formulation: Formulation) -> "FairnessProblem":
+        """Same problem, different fairness formulation."""
+        return replace(self, formulation=formulation)
+
+    def with_filter(self, row_filter: Filter) -> "FairnessProblem":
+        """Same problem, restricted to a sub-population."""
+        return replace(self, row_filter=row_filter)
+
+    def with_objective(self, objective: Objective) -> "FairnessProblem":
+        """Flip between the most- and least-unfair variants."""
+        return replace(self, formulation=self.formulation.with_objective(objective))
+
+    # -- solving -----------------------------------------------------------------
+
+    def solve(
+        self,
+        max_depth: Optional[int] = None,
+        min_partition_size: int = 1,
+    ) -> QuantifyResult:
+        """Solve with the greedy QUANTIFY heuristic (the paper's algorithm)."""
+        return quantify(
+            self.population,
+            self.function,
+            formulation=self.formulation,
+            attributes=self.protected_attributes,
+            max_depth=max_depth,
+            min_partition_size=min_partition_size,
+        )
+
+    def solve_exactly(self, limit: Optional[int] = 200_000) -> ExhaustiveResult:
+        """Solve by exhaustive enumeration (exponential; small instances only)."""
+        return exhaustive_search(
+            self.population,
+            self.function,
+            formulation=self.formulation,
+            attributes=self.protected_attributes,
+            limit=limit,
+        )

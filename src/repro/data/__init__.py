@@ -1,0 +1,66 @@
+"""Data substrate: schemas, datasets, filters, loaders and validation (S1)."""
+
+from repro.data.dataset import Dataset, Individual
+from repro.data.filters import (
+    And,
+    Between,
+    Equals,
+    Filter,
+    Not,
+    OneOf,
+    Or,
+    TrueFilter,
+    apply_filter,
+)
+from repro.data.loaders import (
+    TABLE1_PUBLISHED_SCORES,
+    TABLE1_WEIGHTS,
+    load_csv,
+    load_example_table1,
+    load_records,
+    table1_schema,
+)
+from repro.data.schema import (
+    Attribute,
+    AttributeKind,
+    AttributeType,
+    Schema,
+    observed,
+    protected,
+)
+from repro.data.validation import (
+    ValidationIssue,
+    ValidationReport,
+    profile_dataset,
+    validate_dataset,
+)
+
+__all__ = [
+    "Attribute",
+    "AttributeKind",
+    "AttributeType",
+    "Schema",
+    "protected",
+    "observed",
+    "Dataset",
+    "Individual",
+    "Filter",
+    "TrueFilter",
+    "Equals",
+    "OneOf",
+    "Between",
+    "Not",
+    "And",
+    "Or",
+    "apply_filter",
+    "load_example_table1",
+    "table1_schema",
+    "load_csv",
+    "load_records",
+    "TABLE1_WEIGHTS",
+    "TABLE1_PUBLISHED_SCORES",
+    "ValidationIssue",
+    "ValidationReport",
+    "validate_dataset",
+    "profile_dataset",
+]

@@ -1,0 +1,350 @@
+"""In-memory tabular store of individuals (workers) for FaiRank.
+
+The :class:`Dataset` is the substrate every other subsystem consumes: the
+scoring functions read observed attribute columns from it, the partitioning
+algorithms group its rows by protected-attribute values, the anonymiser
+rewrites its protected columns, and the marketplace generator produces it.
+
+It is deliberately a small, dependency-light columnar store (lists/ numpy
+arrays keyed by attribute name) rather than a pandas DataFrame so that the
+library has a single, explicit data contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.schema import Attribute, AttributeKind, AttributeType, Schema
+from repro.errors import DataError, EmptyDatasetError, UnknownAttributeError
+
+__all__ = ["Individual", "Dataset"]
+
+
+@dataclass(frozen=True)
+class Individual:
+    """A single individual (worker) with an identifier and attribute values.
+
+    ``values`` maps attribute name to value.  Individuals are immutable; the
+    dataset is the unit of mutation (by producing new datasets).
+    """
+
+    uid: str
+    values: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "values", dict(self.values))
+
+    def __getitem__(self, name: str) -> object:
+        try:
+            return self.values[name]
+        except KeyError:
+            raise UnknownAttributeError(name, tuple(self.values)) from None
+
+    def get(self, name: str, default: object = None) -> object:
+        return self.values.get(name, default)
+
+    def with_values(self, **updates: object) -> "Individual":
+        """Return a copy of this individual with some attribute values replaced."""
+        merged = dict(self.values)
+        merged.update(updates)
+        return Individual(uid=self.uid, values=merged)
+
+
+class Dataset:
+    """A set of individuals conforming to a :class:`Schema`.
+
+    The dataset validates every row against the schema at construction time,
+    and exposes column access, filtering, projection and group-by operations
+    used throughout the library.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        individuals: Iterable[Individual],
+        name: str = "dataset",
+        validate: bool = True,
+    ) -> None:
+        self.schema = schema
+        self.name = name
+        self._individuals: Tuple[Individual, ...] = tuple(individuals)
+        if validate:
+            self._validate()
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_records(
+        cls,
+        schema: Schema,
+        records: Sequence[Mapping[str, object]],
+        name: str = "dataset",
+        uid_field: Optional[str] = None,
+    ) -> "Dataset":
+        """Build a dataset from a sequence of dict-like records.
+
+        If ``uid_field`` is given, that key supplies each individual's id and
+        is removed from the attribute values; otherwise ids ``w1, w2, ...``
+        are assigned in order (matching the paper's Table 1 convention).
+        """
+        individuals: List[Individual] = []
+        for index, record in enumerate(records, start=1):
+            values = dict(record)
+            if uid_field is not None:
+                if uid_field not in values:
+                    raise DataError(f"record {index} is missing uid field {uid_field!r}")
+                uid = str(values.pop(uid_field))
+            else:
+                uid = f"w{index}"
+            individuals.append(Individual(uid=uid, values=values))
+        return cls(schema=schema, individuals=individuals, name=name)
+
+    @classmethod
+    def from_columns(
+        cls,
+        schema: Schema,
+        columns: Mapping[str, Sequence[object]],
+        name: str = "dataset",
+        uids: Optional[Sequence[str]] = None,
+    ) -> "Dataset":
+        """Build a dataset from column vectors keyed by attribute name."""
+        if not columns:
+            return cls(schema=schema, individuals=(), name=name)
+        lengths = {len(values) for values in columns.values()}
+        if len(lengths) != 1:
+            raise DataError(f"columns have inconsistent lengths: {sorted(lengths)}")
+        n = lengths.pop()
+        if uids is None:
+            uids = [f"w{i}" for i in range(1, n + 1)]
+        elif len(uids) != n:
+            raise DataError(f"got {len(uids)} uids for {n} rows")
+        records = [
+            {attr: columns[attr][i] for attr in columns} for i in range(n)
+        ]
+        individuals = [Individual(uid=str(uid), values=rec) for uid, rec in zip(uids, records)]
+        return cls(schema=schema, individuals=individuals, name=name)
+
+    def _validate(self) -> None:
+        seen_uids = set()
+        for individual in self._individuals:
+            if individual.uid in seen_uids:
+                raise DataError(f"duplicate individual id {individual.uid!r}")
+            seen_uids.add(individual.uid)
+            for attr in self.schema:
+                if attr.name not in individual.values:
+                    raise DataError(
+                        f"individual {individual.uid!r} is missing attribute {attr.name!r}"
+                    )
+                value = individual.values[attr.name]
+                if not attr.validate_value(value):
+                    raise DataError(
+                        f"individual {individual.uid!r} has invalid value {value!r} "
+                        f"for attribute {attr.name!r}"
+                    )
+
+    # -- basic protocol ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._individuals)
+
+    def __iter__(self) -> Iterator[Individual]:
+        return iter(self._individuals)
+
+    def __getitem__(self, index: int) -> Individual:
+        return self._individuals[index]
+
+    def __bool__(self) -> bool:
+        return bool(self._individuals)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Dataset(name={self.name!r}, n={len(self)}, "
+            f"protected={list(self.schema.protected_names)}, "
+            f"observed={list(self.schema.observed_names)})"
+        )
+
+    @property
+    def individuals(self) -> Tuple[Individual, ...]:
+        return self._individuals
+
+    @property
+    def uids(self) -> Tuple[str, ...]:
+        return tuple(ind.uid for ind in self._individuals)
+
+    def by_uid(self, uid: str) -> Individual:
+        """Return the individual with the given id."""
+        for individual in self._individuals:
+            if individual.uid == uid:
+                return individual
+        raise DataError(f"no individual with id {uid!r} in dataset {self.name!r}")
+
+    # -- column access -----------------------------------------------------
+
+    def column(self, name: str) -> Tuple[object, ...]:
+        """Return the values of attribute ``name`` for all individuals, in order."""
+        self.schema.attribute(name)
+        return tuple(ind.values[name] for ind in self._individuals)
+
+    def numeric_column(self, name: str) -> np.ndarray:
+        """Return a float array of an observed (numeric) attribute column."""
+        attr = self.schema.attribute(name)
+        if attr.atype is not AttributeType.NUMERIC:
+            raise DataError(f"attribute {name!r} is not numeric")
+        return np.asarray([float(ind.values[name]) for ind in self._individuals], dtype=float)
+
+    def value_counts(self, name: str) -> Dict[object, int]:
+        """Return a value -> count mapping for attribute ``name``."""
+        counts: Dict[object, int] = {}
+        for value in self.column(name):
+            counts[value] = counts.get(value, 0) + 1
+        return counts
+
+    def distinct_values(self, name: str) -> Tuple[object, ...]:
+        """Distinct values of attribute ``name``.
+
+        Uses the declared domain order when available; otherwise values are
+        returned in a stable sorted order (by string representation for mixed
+        types) so downstream algorithms are deterministic.
+        """
+        attr = self.schema.attribute(name)
+        present = set(self.column(name))
+        if attr.domain is not None and attr.atype is not AttributeType.NUMERIC:
+            return tuple(v for v in attr.domain if v in present)
+        return tuple(sorted(present, key=lambda v: (str(type(v)), str(v))))
+
+    # -- relational-ish operations ------------------------------------------
+
+    def filter(self, predicate: Callable[[Individual], bool], name: Optional[str] = None) -> "Dataset":
+        """Return a new dataset with only the individuals matching ``predicate``."""
+        kept = tuple(ind for ind in self._individuals if predicate(ind))
+        return Dataset(
+            schema=self.schema,
+            individuals=kept,
+            name=name or f"{self.name}/filtered",
+            validate=False,
+        )
+
+    def select_uids(self, uids: Iterable[str]) -> "Dataset":
+        """Return a new dataset restricted to the given individual ids."""
+        wanted = set(uids)
+        missing = wanted - set(self.uids)
+        if missing:
+            raise DataError(f"unknown individual ids: {sorted(missing)}")
+        kept = tuple(ind for ind in self._individuals if ind.uid in wanted)
+        return Dataset(self.schema, kept, name=f"{self.name}/subset", validate=False)
+
+    def project(self, names: Sequence[str]) -> "Dataset":
+        """Return a dataset with only the attributes in ``names``."""
+        sub_schema = self.schema.project(names)
+        individuals = tuple(
+            Individual(uid=ind.uid, values={n: ind.values[n] for n in sub_schema.names})
+            for ind in self._individuals
+        )
+        return Dataset(sub_schema, individuals, name=f"{self.name}/projected", validate=False)
+
+    def map_column(
+        self,
+        name: str,
+        mapper: Callable[[object], object],
+        as_categorical: bool = False,
+    ) -> "Dataset":
+        """Return a dataset where column ``name`` is rewritten by ``mapper``.
+
+        The attribute's declared domain is dropped (set to ``None``) because
+        the mapping may introduce values outside it — this is exactly what
+        anonymisation/generalisation does.  Pass ``as_categorical=True`` when
+        the mapper turns a numeric column into interval labels (strings).
+        """
+        attr = self.schema.attribute(name)
+        new_type = AttributeType.CATEGORICAL if as_categorical else attr.atype
+        new_attr = Attribute(
+            name=attr.name,
+            kind=attr.kind,
+            atype=new_type,
+            domain=None,
+            description=attr.description,
+        )
+        new_schema = self.schema.replace_attribute(new_attr)
+        individuals = tuple(
+            ind.with_values(**{name: mapper(ind.values[name])}) for ind in self._individuals
+        )
+        return Dataset(new_schema, individuals, name=self.name, validate=False)
+
+    def with_schema(self, schema: Schema) -> "Dataset":
+        """Return this data re-validated under a (compatible) new schema."""
+        return Dataset(schema, self._individuals, name=self.name)
+
+    def group_by(self, names: Sequence[str]) -> Dict[Tuple[object, ...], "Dataset"]:
+        """Group individuals by the combination of values of ``names``.
+
+        Returns a mapping from the value tuple to the sub-dataset of
+        individuals having those values, preserving input order inside each
+        group.  Group keys are emitted in first-seen order.
+        """
+        for name in names:
+            self.schema.attribute(name)
+        groups: Dict[Tuple[object, ...], List[Individual]] = {}
+        for individual in self._individuals:
+            key = tuple(individual.values[name] for name in names)
+            groups.setdefault(key, []).append(individual)
+        return {
+            key: Dataset(self.schema, tuple(members), name=f"{self.name}/{key}", validate=False)
+            for key, members in groups.items()
+        }
+
+    def concat(self, other: "Dataset", name: Optional[str] = None) -> "Dataset":
+        """Concatenate two datasets over the same schema."""
+        if set(other.schema.names) != set(self.schema.names):
+            raise DataError("cannot concatenate datasets with different schemas")
+        return Dataset(
+            self.schema,
+            self._individuals + tuple(other),
+            name=name or f"{self.name}+{other.name}",
+        )
+
+    def require_non_empty(self) -> "Dataset":
+        """Return self, raising :class:`EmptyDatasetError` if there are no rows."""
+        if not self._individuals:
+            raise EmptyDatasetError(f"dataset {self.name!r} is empty")
+        return self
+
+    # -- export -------------------------------------------------------------
+
+    def to_records(self, include_uid: bool = True) -> List[Dict[str, object]]:
+        """Return the dataset as a list of plain dicts (for CSV/JSON export)."""
+        records = []
+        for individual in self._individuals:
+            record: Dict[str, object] = {}
+            if include_uid:
+                record["uid"] = individual.uid
+            record.update({name: individual.values[name] for name in self.schema.names})
+            records.append(record)
+        return records
+
+    def observed_matrix(self, names: Optional[Sequence[str]] = None) -> np.ndarray:
+        """Return an (n, m) float matrix of observed attribute columns.
+
+        ``names`` defaults to every observed attribute in schema order.  This
+        is the matrix a linear scoring function multiplies by its weights.
+        """
+        if names is None:
+            names = self.schema.observed_names
+        if not names:
+            return np.zeros((len(self), 0), dtype=float)
+        columns = [self.numeric_column(name) for name in names]
+        return np.column_stack(columns) if columns else np.zeros((len(self), 0))
+
+    def summary(self) -> Dict[str, object]:
+        """Return a summary dict used by the session layer's General box."""
+        return {
+            "name": self.name,
+            "size": len(self),
+            "protected_attributes": list(self.schema.protected_names),
+            "observed_attributes": list(self.schema.observed_names),
+            "protected_cardinalities": {
+                name: len(self.distinct_values(name)) for name in self.schema.protected_names
+            },
+        }

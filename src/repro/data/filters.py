@@ -1,0 +1,216 @@
+"""Predicate filtering over protected attributes.
+
+The FaiRank interface lets a user "filter the individuals based on protected
+attributes … say only individuals who speak Arabic or who are located in New
+York city" (paper §2).  This module provides a small, composable predicate
+algebra over :class:`~repro.data.dataset.Individual` rows that the session
+configuration and the role workflows use to express such filters
+declaratively (and to print them back to the user).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence, Tuple
+
+from repro.data.dataset import Dataset, Individual
+from repro.errors import UnknownAttributeError
+
+__all__ = [
+    "Filter",
+    "Equals",
+    "OneOf",
+    "Between",
+    "Not",
+    "And",
+    "Or",
+    "TrueFilter",
+    "apply_filter",
+]
+
+
+class Filter:
+    """Base class for declarative row predicates.
+
+    Subclasses implement :meth:`matches`.  Filters compose with ``&``, ``|``
+    and ``~`` and render to a human-readable string via ``describe()``.
+    """
+
+    def matches(self, individual: Individual) -> bool:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+    def __call__(self, individual: Individual) -> bool:
+        return self.matches(individual)
+
+    def __and__(self, other: "Filter") -> "Filter":
+        return And((self, other))
+
+    def __or__(self, other: "Filter") -> "Filter":
+        return Or((self, other))
+
+    def __invert__(self) -> "Filter":
+        return Not(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.describe()})"
+
+
+@dataclass(frozen=True)
+class TrueFilter(Filter):
+    """Matches every individual (the default, no-op filter)."""
+
+    def matches(self, individual: Individual) -> bool:
+        return True
+
+    def describe(self) -> str:
+        return "all individuals"
+
+
+@dataclass(frozen=True)
+class Equals(Filter):
+    """``attribute == value``."""
+
+    attribute: str
+    value: object
+
+    def matches(self, individual: Individual) -> bool:
+        return individual.get(self.attribute, _MISSING) == self.value
+
+    def describe(self) -> str:
+        return f"{self.attribute} = {self.value!r}"
+
+
+@dataclass(frozen=True)
+class OneOf(Filter):
+    """``attribute`` takes one of the given values."""
+
+    attribute: str
+    values: Tuple[object, ...]
+
+    def __init__(self, attribute: str, values: Iterable[object]):
+        object.__setattr__(self, "attribute", attribute)
+        object.__setattr__(self, "values", tuple(values))
+
+    def matches(self, individual: Individual) -> bool:
+        return individual.get(self.attribute, _MISSING) in self.values
+
+    def describe(self) -> str:
+        rendered = ", ".join(repr(v) for v in self.values)
+        return f"{self.attribute} in {{{rendered}}}"
+
+
+@dataclass(frozen=True)
+class Between(Filter):
+    """``low <= attribute <= high`` for numeric/ordinal attributes."""
+
+    attribute: str
+    low: float
+    high: float
+
+    def matches(self, individual: Individual) -> bool:
+        value = individual.get(self.attribute, None)
+        if value is None:
+            return False
+        try:
+            numeric = float(value)  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            return False
+        return self.low <= numeric <= self.high
+
+    def describe(self) -> str:
+        return f"{self.low} <= {self.attribute} <= {self.high}"
+
+
+@dataclass(frozen=True)
+class Not(Filter):
+    """Logical negation of another filter."""
+
+    inner: Filter
+
+    def matches(self, individual: Individual) -> bool:
+        return not self.inner.matches(individual)
+
+    def describe(self) -> str:
+        return f"not ({self.inner.describe()})"
+
+
+class _Combinator(Filter):
+    """Shared machinery for And / Or."""
+
+    _joiner = ""
+    _empty_result = True
+
+    def __init__(self, parts: Iterable[Filter]):
+        self.parts: Tuple[Filter, ...] = tuple(parts)
+
+    def describe(self) -> str:
+        if not self.parts:
+            return "all individuals"
+        return f" {self._joiner} ".join(f"({p.describe()})" for p in self.parts)
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self.parts == other.parts  # type: ignore[attr-defined]
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.parts))
+
+
+class And(_Combinator):
+    """Conjunction of filters (matches when *all* parts match)."""
+
+    _joiner = "and"
+
+    def matches(self, individual: Individual) -> bool:
+        return all(part.matches(individual) for part in self.parts)
+
+
+class Or(_Combinator):
+    """Disjunction of filters (matches when *any* part matches)."""
+
+    _joiner = "or"
+
+    def matches(self, individual: Individual) -> bool:
+        return any(part.matches(individual) for part in self.parts)
+
+
+class _Missing:
+    """Sentinel distinct from any attribute value (including None)."""
+
+    def __eq__(self, other: object) -> bool:
+        return False
+
+    def __hash__(self) -> int:  # pragma: no cover - trivial
+        return id(self)
+
+
+_MISSING = _Missing()
+
+
+def apply_filter(dataset: Dataset, row_filter: Filter) -> Dataset:
+    """Apply a filter to a dataset, validating referenced attribute names.
+
+    Unlike :meth:`Dataset.filter`, this checks that every attribute mentioned
+    by the filter exists in the dataset schema, so typos fail loudly instead
+    of silently matching nothing.
+    """
+    for name in _referenced_attributes(row_filter):
+        if name not in dataset.schema:
+            raise UnknownAttributeError(name, dataset.schema.names)
+    return dataset.filter(row_filter.matches, name=f"{dataset.name}[{row_filter.describe()}]")
+
+
+def _referenced_attributes(row_filter: Filter) -> Sequence[str]:
+    """Collect every attribute name referenced by a (possibly nested) filter."""
+    if isinstance(row_filter, (Equals, OneOf, Between)):
+        return [row_filter.attribute]
+    if isinstance(row_filter, Not):
+        return _referenced_attributes(row_filter.inner)
+    if isinstance(row_filter, _Combinator):
+        names = []
+        for part in row_filter.parts:
+            names.extend(_referenced_attributes(part))
+        return names
+    return []

@@ -1,0 +1,184 @@
+"""Dataset loaders: the paper's Table 1 example, CSV files, and plain records.
+
+``load_example_table1`` reproduces the running example of the paper verbatim
+(10 individuals of a crowdsourcing platform, protected attributes Gender /
+Country / Year of Birth / Language / Ethnicity / Experience, observed
+attributes Language Test / Rating, and the scoring function
+``f(w) = 0.6 * LanguageTest + 0.4 * Rating`` whose values match the ``f(w)``
+column printed in the paper).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.data.dataset import Dataset
+from repro.data.schema import (
+    Attribute,
+    AttributeKind,
+    AttributeType,
+    Schema,
+    observed,
+    protected,
+)
+from repro.errors import DataError
+
+__all__ = [
+    "table1_schema",
+    "load_example_table1",
+    "TABLE1_WEIGHTS",
+    "load_csv",
+    "load_records",
+]
+
+#: Weights of the example scoring function of Table 1.  With these weights the
+#: ``f(w)`` column of the paper is reproduced exactly for every row (e.g. w1:
+#: 0.3*0.50 + 0.7*0.20 = 0.29, w7: 0.3*0.95 + 0.7*0.98 = 0.971); the per-row
+#: check lives in ``tests/test_data_loaders.py``.
+TABLE1_WEIGHTS: Dict[str, float] = {"Language Test": 0.3, "Rating": 0.7}
+
+_TABLE1_ROWS: List[Dict[str, object]] = [
+    # uid, Gender, Country, YearOfBirth, Language, Ethnicity, Experience, LanguageTest, Rating, f(w)
+    {"uid": "w1", "Gender": "Female", "Country": "India", "Year of Birth": 2004,
+     "Language": "English", "Ethnicity": "Indian", "Experience": 0,
+     "Language Test": 0.50, "Rating": 0.20, "f": 0.29},
+    {"uid": "w2", "Gender": "Male", "Country": "America", "Year of Birth": 1976,
+     "Language": "English", "Ethnicity": "White", "Experience": 14,
+     "Language Test": 0.89, "Rating": 0.92, "f": 0.911},
+    {"uid": "w3", "Gender": "Male", "Country": "India", "Year of Birth": 1976,
+     "Language": "Indian", "Ethnicity": "White", "Experience": 6,
+     "Language Test": 0.65, "Rating": 0.65, "f": 0.65},
+    {"uid": "w4", "Gender": "Male", "Country": "Other", "Year of Birth": 1963,
+     "Language": "Other", "Ethnicity": "Indian", "Experience": 18,
+     "Language Test": 0.64, "Rating": 0.76, "f": 0.724},
+    {"uid": "w5", "Gender": "Female", "Country": "India", "Year of Birth": 1963,
+     "Language": "Indian", "Ethnicity": "Indian", "Experience": 21,
+     "Language Test": 0.85, "Rating": 0.90, "f": 0.885},
+    {"uid": "w6", "Gender": "Male", "Country": "America", "Year of Birth": 1995,
+     "Language": "English", "Ethnicity": "African-American", "Experience": 2,
+     "Language Test": 0.42, "Rating": 0.20, "f": 0.266},
+    {"uid": "w7", "Gender": "Female", "Country": "America", "Year of Birth": 1982,
+     "Language": "English", "Ethnicity": "African-American", "Experience": 16,
+     "Language Test": 0.95, "Rating": 0.98, "f": 0.971},
+    {"uid": "w8", "Gender": "Male", "Country": "Other", "Year of Birth": 2008,
+     "Language": "English", "Ethnicity": "Other", "Experience": 0,
+     "Language Test": 0.30, "Rating": 0.15, "f": 0.195},
+    {"uid": "w9", "Gender": "Male", "Country": "Other", "Year of Birth": 1992,
+     "Language": "English", "Ethnicity": "White", "Experience": 2,
+     "Language Test": 0.32, "Rating": 0.25, "f": 0.271},
+    {"uid": "w10", "Gender": "Female", "Country": "America", "Year of Birth": 2000,
+     "Language": "English", "Ethnicity": "White", "Experience": 5,
+     "Language Test": 0.76, "Rating": 0.56, "f": 0.62},
+]
+
+#: The paper's reported f(w) column, keyed by individual id (for tests and
+#: the Table 1 benchmark).
+TABLE1_PUBLISHED_SCORES: Dict[str, float] = {row["uid"]: row["f"] for row in _TABLE1_ROWS}  # type: ignore[index, misc]
+
+
+def table1_schema() -> Schema:
+    """Schema of the paper's Table 1 example dataset."""
+    return Schema((
+        protected("Gender", domain=("Female", "Male")),
+        protected("Country", domain=("America", "India", "Other")),
+        protected("Year of Birth", atype=AttributeType.ORDINAL),
+        protected("Language", domain=("English", "Indian", "Other")),
+        protected("Ethnicity", domain=("White", "Indian", "African-American", "Other")),
+        protected("Experience", atype=AttributeType.ORDINAL),
+        observed("Language Test", domain=(0.0, 1.0)),
+        observed("Rating", domain=(0.0, 1.0)),
+    ))
+
+
+def load_example_table1(name: str = "table1-example") -> Dataset:
+    """Load the 10-individual example dataset of the paper's Table 1."""
+    records = []
+    for row in _TABLE1_ROWS:
+        record = dict(row)
+        record.pop("f")
+        records.append(record)
+    return Dataset.from_records(table1_schema(), records, name=name, uid_field="uid")
+
+
+def load_records(
+    records: Sequence[Mapping[str, object]],
+    protected_names: Sequence[str],
+    observed_names: Sequence[str],
+    name: str = "records",
+    uid_field: Optional[str] = None,
+) -> Dataset:
+    """Build a dataset from plain records, inferring the schema.
+
+    Protected attributes are treated as categorical with a domain inferred
+    from the data; observed attributes are numeric.
+    """
+    if not records:
+        raise DataError("cannot infer a schema from zero records")
+    attributes: List[Attribute] = []
+    for pname in protected_names:
+        domain = sorted({rec[pname] for rec in records}, key=lambda v: (str(type(v)), str(v)))
+        attributes.append(
+            Attribute(name=pname, kind=AttributeKind.PROTECTED,
+                      atype=AttributeType.CATEGORICAL, domain=tuple(domain))
+        )
+    for oname in observed_names:
+        attributes.append(
+            Attribute(name=oname, kind=AttributeKind.OBSERVED, atype=AttributeType.NUMERIC)
+        )
+    schema = Schema(tuple(attributes))
+    kept_fields = set(protected_names) | set(observed_names)
+    if uid_field:
+        kept_fields.add(uid_field)
+    trimmed = [{k: v for k, v in rec.items() if k in kept_fields} for rec in records]
+    return Dataset.from_records(schema, trimmed, name=name, uid_field=uid_field)
+
+
+def load_csv(
+    path: Union[str, Path],
+    protected_names: Sequence[str],
+    observed_names: Sequence[str],
+    name: Optional[str] = None,
+    uid_field: Optional[str] = None,
+) -> Dataset:
+    """Load a dataset from a CSV file with a header row.
+
+    Observed attribute columns are parsed as floats; protected attributes are
+    kept as strings (the common format of crawled marketplace data).
+    """
+    path = Path(path)
+    if not path.exists():
+        raise DataError(f"CSV file not found: {path}")
+    with path.open(newline="", encoding="utf-8") as handle:
+        reader = csv.DictReader(handle)
+        raw_rows = list(reader)
+    if not raw_rows:
+        raise DataError(f"CSV file {path} contains no data rows")
+    records: List[Dict[str, object]] = []
+    for line_no, raw in enumerate(raw_rows, start=2):
+        record: Dict[str, object] = {}
+        for pname in protected_names:
+            if pname not in raw:
+                raise DataError(f"{path}:{line_no}: missing protected column {pname!r}")
+            record[pname] = raw[pname]
+        for oname in observed_names:
+            if oname not in raw:
+                raise DataError(f"{path}:{line_no}: missing observed column {oname!r}")
+            try:
+                record[oname] = float(raw[oname])
+            except ValueError:
+                raise DataError(
+                    f"{path}:{line_no}: observed column {oname!r} has non-numeric "
+                    f"value {raw[oname]!r}"
+                ) from None
+        if uid_field is not None:
+            record[uid_field] = raw.get(uid_field, "")
+        records.append(record)
+    return load_records(
+        records,
+        protected_names=protected_names,
+        observed_names=observed_names,
+        name=name or path.stem,
+        uid_field=uid_field,
+    )

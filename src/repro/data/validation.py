@@ -1,0 +1,167 @@
+"""Dataset validation and profiling utilities.
+
+These helpers give early, readable errors for the common ways a user-supplied
+marketplace dataset can be unusable for fairness analysis — no protected
+attributes, constant protected columns (nothing to partition on), observed
+columns outside [0, 1] when a scoring function expects normalised skills, or
+too few individuals per protected value for histograms to be meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.errors import DataError
+
+__all__ = ["ValidationIssue", "ValidationReport", "validate_dataset", "profile_dataset"]
+
+
+@dataclass(frozen=True)
+class ValidationIssue:
+    """A single validation finding.
+
+    ``severity`` is ``"error"`` for conditions that make fairness analysis
+    impossible and ``"warning"`` for conditions that merely degrade it.
+    """
+
+    severity: str
+    code: str
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.severity}] {self.code}: {self.message}"
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of :func:`validate_dataset`."""
+
+    issues: List[ValidationIssue] = field(default_factory=list)
+
+    @property
+    def errors(self) -> List[ValidationIssue]:
+        return [issue for issue in self.issues if issue.severity == "error"]
+
+    @property
+    def warnings(self) -> List[ValidationIssue]:
+        return [issue for issue in self.issues if issue.severity == "warning"]
+
+    @property
+    def ok(self) -> bool:
+        """True when there are no blocking errors (warnings allowed)."""
+        return not self.errors
+
+    def raise_if_invalid(self) -> None:
+        """Raise :class:`DataError` summarising all blocking errors."""
+        if self.errors:
+            summary = "; ".join(issue.message for issue in self.errors)
+            raise DataError(f"dataset failed validation: {summary}")
+
+    def add(self, severity: str, code: str, message: str) -> None:
+        self.issues.append(ValidationIssue(severity=severity, code=code, message=message))
+
+
+def validate_dataset(
+    dataset: Dataset,
+    min_individuals: int = 2,
+    min_group_size: int = 1,
+    require_unit_interval_scores: bool = False,
+) -> ValidationReport:
+    """Check that a dataset is usable for fairness-of-ranking analysis.
+
+    Parameters
+    ----------
+    dataset:
+        The dataset to check.
+    min_individuals:
+        Minimum number of rows required (default 2 — one cannot compare
+        score distributions of fewer individuals).
+    min_group_size:
+        Minimum number of individuals per protected value below which a
+        warning is emitted (tiny groups yield degenerate histograms).
+    require_unit_interval_scores:
+        When True, observed columns outside [0, 1] are an error instead of a
+        warning (the paper's scoring functions map to [0, 1]).
+    """
+    report = ValidationReport()
+
+    if len(dataset) < min_individuals:
+        report.add("error", "too-few-individuals",
+                   f"dataset has {len(dataset)} individuals, need at least {min_individuals}")
+
+    if not dataset.schema.protected_names:
+        report.add("error", "no-protected-attributes",
+                   "schema declares no protected attributes; nothing to partition on")
+    if not dataset.schema.observed_names:
+        report.add("error", "no-observed-attributes",
+                   "schema declares no observed attributes; no scoring function can be defined")
+
+    for name in dataset.schema.protected_names:
+        if not len(dataset):
+            break
+        distinct = dataset.distinct_values(name)
+        if len(distinct) <= 1:
+            report.add("warning", "constant-protected-attribute",
+                       f"protected attribute {name!r} has a single value; it cannot split anyone")
+        counts = dataset.value_counts(name)
+        small = {value: count for value, count in counts.items() if count < min_group_size}
+        if small and len(distinct) > 1:
+            report.add("warning", "small-protected-groups",
+                       f"protected attribute {name!r} has groups below {min_group_size} "
+                       f"individuals: {sorted(map(str, small))}")
+
+    for name in dataset.schema.observed_names:
+        if not len(dataset):
+            break
+        column = dataset.numeric_column(name)
+        if np.isnan(column).any():
+            report.add("error", "nan-scores",
+                       f"observed attribute {name!r} contains NaN values")
+            continue
+        if column.min() < 0.0 or column.max() > 1.0:
+            severity = "error" if require_unit_interval_scores else "warning"
+            report.add(severity, "scores-outside-unit-interval",
+                       f"observed attribute {name!r} has values in "
+                       f"[{column.min():.3f}, {column.max():.3f}], outside [0, 1]")
+        if np.allclose(column, column[0]):
+            report.add("warning", "constant-observed-attribute",
+                       f"observed attribute {name!r} is constant; it carries no ranking signal")
+
+    return report
+
+
+def profile_dataset(dataset: Dataset) -> Dict[str, object]:
+    """Return a profiling summary used by examples and the session layer.
+
+    Includes per-protected-attribute value counts and per-observed-attribute
+    distribution statistics (min / mean / max / std).
+    """
+    protected_profile: Dict[str, Dict[str, int]] = {}
+    for name in dataset.schema.protected_names:
+        protected_profile[name] = {
+            str(value): count for value, count in sorted(
+                dataset.value_counts(name).items(), key=lambda item: str(item[0])
+            )
+        }
+    observed_profile: Dict[str, Dict[str, float]] = {}
+    for name in dataset.schema.observed_names:
+        column = dataset.numeric_column(name) if len(dataset) else np.zeros(0)
+        if column.size:
+            observed_profile[name] = {
+                "min": float(column.min()),
+                "mean": float(column.mean()),
+                "max": float(column.max()),
+                "std": float(column.std()),
+            }
+        else:
+            observed_profile[name] = {"min": 0.0, "mean": 0.0, "max": 0.0, "std": 0.0}
+    return {
+        "name": dataset.name,
+        "size": len(dataset),
+        "protected": protected_profile,
+        "observed": observed_profile,
+    }

@@ -1,0 +1,31 @@
+"""Experiment harness regenerating every table/figure of the paper (S13)."""
+
+from repro.experiments.harness import (
+    ExperimentOutcome,
+    ExperimentRegistry,
+    registry,
+    run_all,
+    run_experiment,
+)
+from repro.experiments.workloads import (
+    biased_population,
+    crawled_marketplaces,
+    crowdsourcing_marketplace,
+    scaling_populations,
+    synthetic_population,
+    table1_workload,
+)
+
+__all__ = [
+    "ExperimentOutcome",
+    "ExperimentRegistry",
+    "registry",
+    "run_experiment",
+    "run_all",
+    "table1_workload",
+    "synthetic_population",
+    "biased_population",
+    "crowdsourcing_marketplace",
+    "crawled_marketplaces",
+    "scaling_populations",
+]

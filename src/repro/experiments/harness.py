@@ -1,0 +1,117 @@
+"""Experiment harness: run the DESIGN.md experiment index and collect tables.
+
+Each experiment function returns a :class:`~repro.roles.report.ReportTable`
+(or a dict of tables); :func:`run_experiment` dispatches by experiment id and
+:func:`run_all` regenerates every table the reproduction reports in
+EXPERIMENTS.md.  The ``benchmarks/`` directory wraps these same functions in
+pytest-benchmark so runtimes are measured alongside the outputs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+from repro.errors import ExperimentError
+from repro.roles.report import ReportTable
+
+__all__ = ["ExperimentOutcome", "ExperimentRegistry", "registry", "run_experiment", "run_all"]
+
+
+@dataclass
+class ExperimentOutcome:
+    """One experiment's output tables plus wall-clock time."""
+
+    experiment_id: str
+    description: str
+    tables: List[ReportTable]
+    elapsed_seconds: float
+
+    def render(self) -> str:
+        header = f"== {self.experiment_id}: {self.description} ({self.elapsed_seconds:.2f}s) =="
+        parts = [header]
+        parts.extend(table.render() for table in self.tables)
+        return "\n\n".join(parts)
+
+
+class ExperimentRegistry:
+    """Registry mapping experiment ids (E1..E12) to runner callables."""
+
+    def __init__(self) -> None:
+        self._runners: Dict[str, Callable[..., List[ReportTable]]] = {}
+        self._descriptions: Dict[str, str] = {}
+
+    def register(self, experiment_id: str, description: str):
+        """Decorator registering an experiment runner under an id."""
+
+        def decorator(func: Callable[..., List[ReportTable]]):
+            if experiment_id in self._runners:
+                raise ExperimentError(f"experiment {experiment_id!r} is already registered")
+            self._runners[experiment_id] = func
+            self._descriptions[experiment_id] = description
+            return func
+
+        return decorator
+
+    @property
+    def experiment_ids(self) -> List[str]:
+        return sorted(self._runners, key=_experiment_sort_key)
+
+    def description(self, experiment_id: str) -> str:
+        self._require(experiment_id)
+        return self._descriptions[experiment_id]
+
+    def _require(self, experiment_id: str) -> None:
+        if experiment_id not in self._runners:
+            raise ExperimentError(
+                f"unknown experiment {experiment_id!r}; known: {', '.join(self.experiment_ids)}"
+            )
+
+    def run(self, experiment_id: str, **kwargs) -> ExperimentOutcome:
+        """Run one experiment and time it."""
+        self._require(experiment_id)
+        start = time.perf_counter()
+        tables = self._runners[experiment_id](**kwargs)
+        elapsed = time.perf_counter() - start
+        if isinstance(tables, ReportTable):
+            tables = [tables]
+        return ExperimentOutcome(
+            experiment_id=experiment_id,
+            description=self._descriptions[experiment_id],
+            tables=list(tables),
+            elapsed_seconds=elapsed,
+        )
+
+    def run_all(self, skip: Sequence[str] = (), **kwargs) -> List[ExperimentOutcome]:
+        """Run every registered experiment (optionally skipping some ids)."""
+        outcomes = []
+        for experiment_id in self.experiment_ids:
+            if experiment_id in skip:
+                continue
+            outcomes.append(self.run(experiment_id, **kwargs.get(experiment_id, {})))
+        return outcomes
+
+
+def _experiment_sort_key(experiment_id: str):
+    digits = "".join(ch for ch in experiment_id if ch.isdigit())
+    return (int(digits) if digits else 0, experiment_id)
+
+
+#: The module-level registry used by :mod:`repro.experiments.suite`.
+registry = ExperimentRegistry()
+
+
+def run_experiment(experiment_id: str, **kwargs) -> ExperimentOutcome:
+    """Run one experiment from the global registry."""
+    # Importing the suite registers every experiment exactly once.
+    from repro.experiments import suite  # noqa: F401  (import for side effect)
+
+    return registry.run(experiment_id, **kwargs)
+
+
+def run_all(skip: Sequence[str] = ()) -> List[ExperimentOutcome]:
+    """Run every experiment from the global registry."""
+    from repro.experiments import suite  # noqa: F401  (import for side effect)
+
+    return registry.run_all(skip=skip)

@@ -1,0 +1,42 @@
+"""Marketplace substrate: entities, synthetic generator and simulated crawler (S10)."""
+
+from repro.marketplace.bias import BiasSpec, apply_bias, describe_bias
+from repro.marketplace.crawler import (
+    PLATFORM_PROFILES,
+    MarketplaceCrawler,
+    PlatformProfile,
+    available_platforms,
+)
+from repro.marketplace.entities import Job, Marketplace
+from repro.marketplace.generator import (
+    CrowdsourcingGenerator,
+    PopulationSpec,
+    default_population_spec,
+)
+from repro.marketplace.ranking import (
+    GroupRankingStats,
+    exposure_by_group,
+    group_ranking_stats,
+    ranking_report,
+    top_k_share,
+)
+
+__all__ = [
+    "Job",
+    "Marketplace",
+    "BiasSpec",
+    "apply_bias",
+    "describe_bias",
+    "CrowdsourcingGenerator",
+    "PopulationSpec",
+    "default_population_spec",
+    "MarketplaceCrawler",
+    "PlatformProfile",
+    "PLATFORM_PROFILES",
+    "available_platforms",
+    "GroupRankingStats",
+    "group_ranking_stats",
+    "exposure_by_group",
+    "top_k_share",
+    "ranking_report",
+]

@@ -1,0 +1,143 @@
+"""Ranking-level analyses of marketplace jobs.
+
+Helpers that turn a job's ranking into the group-level quantities reports
+need: where each protected group lands on average, how much exposure it gets,
+and which groups dominate the top of the list.  These are the statistics an
+end-user or auditor reads alongside the EMD-based unfairness numbers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.errors import MarketplaceError
+from repro.marketplace.entities import Job, Marketplace
+from repro.scoring.base import Ranking
+
+__all__ = [
+    "GroupRankingStats",
+    "group_ranking_stats",
+    "exposure_by_group",
+    "top_k_share",
+    "ranking_report",
+]
+
+
+@dataclass(frozen=True)
+class GroupRankingStats:
+    """Position statistics of one protected group inside one ranking."""
+
+    group: str
+    size: int
+    mean_position: float
+    median_position: float
+    best_position: int
+    exposure_share: float
+    top_10_share: float
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "group": self.group,
+            "size": self.size,
+            "mean_position": self.mean_position,
+            "median_position": self.median_position,
+            "best_position": self.best_position,
+            "exposure_share": self.exposure_share,
+            "top_10_share": self.top_10_share,
+        }
+
+
+def _positions_by_group(
+    ranking: Ranking, dataset: Dataset, attribute: str
+) -> Dict[str, List[int]]:
+    dataset.schema.require_protected(attribute)
+    value_of = {individual.uid: individual.values[attribute] for individual in dataset}
+    positions: Dict[str, List[int]] = {}
+    for position, (uid, _) in enumerate(ranking, start=1):
+        if uid not in value_of:
+            raise MarketplaceError(
+                f"ranking mentions {uid!r} which is not in dataset {dataset.name!r}"
+            )
+        group = str(value_of[uid])
+        positions.setdefault(group, []).append(position)
+    return positions
+
+
+def exposure_by_group(ranking: Ranking, dataset: Dataset, attribute: str) -> Dict[str, float]:
+    """Share of total ranking exposure received by each group.
+
+    Exposure of position ``i`` is the standard logarithmic discount
+    ``1 / log2(i + 1)`` (Singh & Joachims' fairness-of-exposure model, which
+    the paper cites as related work).
+    """
+    positions = _positions_by_group(ranking, dataset, attribute)
+    exposures = {
+        group: sum(1.0 / math.log2(position + 1) for position in group_positions)
+        for group, group_positions in positions.items()
+    }
+    total = sum(exposures.values())
+    if total <= 0:
+        return {group: 0.0 for group in exposures}
+    return {group: value / total for group, value in exposures.items()}
+
+
+def top_k_share(ranking: Ranking, dataset: Dataset, attribute: str, k: int = 10) -> Dict[str, float]:
+    """Fraction of the top-k positions occupied by each group."""
+    if k < 1:
+        raise MarketplaceError(f"top-k share needs k >= 1, got {k}")
+    value_of = {individual.uid: str(individual.values[attribute]) for individual in dataset}
+    top = ranking.top(min(k, len(ranking)))
+    counts: Dict[str, int] = {}
+    for uid in top:
+        counts[value_of[uid]] = counts.get(value_of[uid], 0) + 1
+    total = len(top)
+    groups = {str(value) for value in dataset.distinct_values(attribute)}
+    return {group: counts.get(group, 0) / total for group in sorted(groups)}
+
+
+def group_ranking_stats(
+    ranking: Ranking, dataset: Dataset, attribute: str, top_k: int = 10
+) -> List[GroupRankingStats]:
+    """Per-group position statistics for one ranking, sorted by mean position."""
+    positions = _positions_by_group(ranking, dataset, attribute)
+    exposure = exposure_by_group(ranking, dataset, attribute)
+    top_share = top_k_share(ranking, dataset, attribute, k=top_k)
+    stats: List[GroupRankingStats] = []
+    for group, group_positions in positions.items():
+        array = np.asarray(group_positions, dtype=float)
+        stats.append(
+            GroupRankingStats(
+                group=group,
+                size=len(group_positions),
+                mean_position=float(array.mean()),
+                median_position=float(np.median(array)),
+                best_position=int(array.min()),
+                exposure_share=exposure.get(group, 0.0),
+                top_10_share=top_share.get(group, 0.0),
+            )
+        )
+    stats.sort(key=lambda s: s.mean_position)
+    return stats
+
+
+def ranking_report(
+    marketplace: Marketplace, job_title: str, attribute: str, top_k: int = 10
+) -> Dict[str, object]:
+    """A per-job ranking report keyed by a single protected attribute."""
+    job = marketplace.job(job_title)
+    candidates = job.candidates(marketplace.workers)
+    ranking = job.ranking(marketplace.workers)
+    stats = group_ranking_stats(ranking, candidates, attribute, top_k=top_k)
+    return {
+        "marketplace": marketplace.name,
+        "job": job_title,
+        "attribute": attribute,
+        "candidates": len(candidates),
+        "transparent": job.is_transparent,
+        "groups": [entry.as_dict() for entry in stats],
+    }

@@ -1,0 +1,148 @@
+"""Alternative distribution distances.
+
+The paper quantifies group unfairness with the EMD, but explicitly notes that
+FaiRank "is generic and provides the ability to quantify different notions of
+fairness".  This module supplies the common alternatives — total variation,
+Kolmogorov–Smirnov, Jensen–Shannon divergence and mean-score gap — behind a
+single :class:`DistanceMeasure` interface so formulations can swap them in.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+from repro.errors import FormulationError
+from repro.metrics.emd import emd, normalized_emd
+from repro.metrics.histogram import Histogram
+
+__all__ = [
+    "DistanceMeasure",
+    "EMDDistance",
+    "NormalizedEMDDistance",
+    "TotalVariationDistance",
+    "KolmogorovSmirnovDistance",
+    "JensenShannonDistance",
+    "MeanGapDistance",
+    "get_distance",
+    "available_distances",
+]
+
+
+@dataclass(frozen=True)
+class DistanceMeasure:
+    """A named, symmetric distance between two score histograms."""
+
+    name: str
+    func: Callable[[Histogram, Histogram], float]
+    description: str = ""
+
+    def __call__(self, first: Histogram, second: Histogram) -> float:
+        if first.binning != second.binning:
+            raise FormulationError("histograms must share a binning to be compared")
+        return float(self.func(first, second))
+
+
+def _total_variation(first: Histogram, second: Histogram) -> float:
+    return float(0.5 * np.abs(first.normalized() - second.normalized()).sum())
+
+
+def _kolmogorov_smirnov(first: Histogram, second: Histogram) -> float:
+    cdf_first = np.cumsum(first.normalized())
+    cdf_second = np.cumsum(second.normalized())
+    return float(np.abs(cdf_first - cdf_second).max())
+
+
+def _jensen_shannon(first: Histogram, second: Histogram) -> float:
+    p = first.normalized()
+    q = second.normalized()
+    mixture = 0.5 * (p + q)
+
+    def _kl(a: np.ndarray, b: np.ndarray) -> float:
+        mask = a > 0
+        return float(np.sum(a[mask] * np.log2(a[mask] / b[mask])))
+
+    divergence = 0.5 * _kl(p, mixture) + 0.5 * _kl(q, mixture)
+    # Numerical noise can push the value a hair above 1 or below 0.
+    return float(min(max(divergence, 0.0), 1.0))
+
+
+def _jensen_shannon_distance(first: Histogram, second: Histogram) -> float:
+    return math.sqrt(_jensen_shannon(first, second))
+
+
+def _mean_gap(first: Histogram, second: Histogram) -> float:
+    return abs(first.mean_score() - second.mean_score())
+
+
+EMDDistance = DistanceMeasure(
+    name="emd",
+    func=lambda a, b: emd(a, b),
+    description="Earth Mover's Distance in bin units (paper default, Definition 2)",
+)
+
+NormalizedEMDDistance = DistanceMeasure(
+    name="normalized_emd",
+    func=normalized_emd,
+    description="EMD divided by its maximum (k-1 bins); comparable across binnings",
+)
+
+TotalVariationDistance = DistanceMeasure(
+    name="total_variation",
+    func=_total_variation,
+    description="Half the L1 distance between normalised histograms",
+)
+
+KolmogorovSmirnovDistance = DistanceMeasure(
+    name="kolmogorov_smirnov",
+    func=_kolmogorov_smirnov,
+    description="Maximum absolute difference between the two CDFs",
+)
+
+JensenShannonDistance = DistanceMeasure(
+    name="jensen_shannon",
+    func=_jensen_shannon_distance,
+    description="Square root of the Jensen-Shannon divergence (base 2)",
+)
+
+MeanGapDistance = DistanceMeasure(
+    name="mean_gap",
+    func=_mean_gap,
+    description="Absolute difference between group mean scores (demographic-parity style)",
+)
+
+_REGISTRY: Dict[str, DistanceMeasure] = {
+    measure.name: measure
+    for measure in (
+        EMDDistance,
+        NormalizedEMDDistance,
+        TotalVariationDistance,
+        KolmogorovSmirnovDistance,
+        JensenShannonDistance,
+        MeanGapDistance,
+    )
+}
+
+
+def available_distances() -> Tuple[str, ...]:
+    """Names of all registered distance measures."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_distance(name: str) -> DistanceMeasure:
+    """Look up a distance measure by name.
+
+    Raises
+    ------
+    FormulationError
+        If the name is not registered.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise FormulationError(
+            f"unknown distance {name!r}; available: {', '.join(available_distances())}"
+        ) from None

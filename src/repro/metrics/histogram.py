@@ -1,0 +1,182 @@
+"""Score histograms.
+
+FaiRank quantifies the (un)fairness of a scoring function by comparing the
+*distribution of scores* it assigns to different groups of individuals.  The
+paper builds, for every partition, "a histogram … by creating equal bins over
+the range of f and counting the number of individuals whose function scores
+fall in each bin" (§3.1).
+
+The :class:`Histogram` here is that object: a fixed binning shared across all
+partitions being compared (so the EMD is well defined), plus the counts of a
+particular group.  Histograms can be normalised to mass-1 distributions,
+which is what the EMD compares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import FormulationError
+
+__all__ = ["Binning", "Histogram", "build_histogram", "DEFAULT_BINS"]
+
+#: Default number of equal-width bins over the score range, matching the
+#: worked example of the paper (scores in [0, 1] bucketed into 5 bins).
+DEFAULT_BINS = 5
+
+
+@dataclass(frozen=True)
+class Binning:
+    """A fixed equal-width binning of a score range.
+
+    All histograms compared by an unfairness formulation must share the same
+    binning — otherwise bin-to-bin ground distances are meaningless.
+    """
+
+    low: float
+    high: float
+    bins: int = DEFAULT_BINS
+
+    def __post_init__(self) -> None:
+        if self.bins < 1:
+            raise FormulationError(f"a binning needs at least 1 bin, got {self.bins}")
+        if not np.isfinite(self.low) or not np.isfinite(self.high):
+            raise FormulationError("binning bounds must be finite")
+        if self.high < self.low:
+            raise FormulationError(
+                f"binning upper bound {self.high} is below lower bound {self.low}"
+            )
+
+    @property
+    def edges(self) -> np.ndarray:
+        """Bin edges (length ``bins + 1``)."""
+        if self.high == self.low:
+            # Degenerate range: widen slightly so np.histogram keeps all mass
+            # in the single sensible bin rather than erroring out.
+            return np.linspace(self.low - 0.5, self.low + 0.5, self.bins + 1)
+        return np.linspace(self.low, self.high, self.bins + 1)
+
+    @property
+    def centers(self) -> np.ndarray:
+        """Bin centres (length ``bins``); the support points for EMD."""
+        edges = self.edges
+        return (edges[:-1] + edges[1:]) / 2.0
+
+    @property
+    def width(self) -> float:
+        """Width of one bin."""
+        edges = self.edges
+        return float(edges[1] - edges[0])
+
+    def bin_index(self, score: float) -> int:
+        """Index of the bin containing ``score`` (clamped to the range)."""
+        edges = self.edges
+        index = int(np.searchsorted(edges, score, side="right")) - 1
+        return int(np.clip(index, 0, self.bins - 1))
+
+    @classmethod
+    def unit(cls, bins: int = DEFAULT_BINS) -> "Binning":
+        """The [0, 1] binning used for normalised scoring functions."""
+        return cls(low=0.0, high=1.0, bins=bins)
+
+    @classmethod
+    def for_scores(cls, scores: Sequence[float], bins: int = DEFAULT_BINS) -> "Binning":
+        """A binning spanning the observed range of ``scores``."""
+        values = np.asarray(list(scores), dtype=float)
+        if values.size == 0:
+            return cls.unit(bins)
+        return cls(low=float(values.min()), high=float(values.max()), bins=bins)
+
+
+@dataclass(frozen=True)
+class Histogram:
+    """Counts of scores per bin, for one group of individuals."""
+
+    binning: Binning
+    counts: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.counts) != self.binning.bins:
+            raise FormulationError(
+                f"histogram has {len(self.counts)} counts for {self.binning.bins} bins"
+            )
+        if any(count < 0 for count in self.counts):
+            raise FormulationError("histogram counts must be non-negative")
+        object.__setattr__(self, "counts", tuple(int(c) for c in self.counts))
+
+    @property
+    def total(self) -> int:
+        """Total number of individuals in the histogram."""
+        return int(sum(self.counts))
+
+    @property
+    def is_empty(self) -> bool:
+        return self.total == 0
+
+    def as_array(self) -> np.ndarray:
+        """Raw counts as a float array."""
+        return np.asarray(self.counts, dtype=float)
+
+    def normalized(self) -> np.ndarray:
+        """Counts normalised to a probability distribution (sums to 1).
+
+        An empty histogram normalises to the uniform distribution so that
+        distances against it are defined; callers that care should check
+        :attr:`is_empty` first (the partitioning code never produces empty
+        partitions).  The result is cached (histograms are immutable) because
+        the partitioning search normalises the same histograms many times.
+        """
+        cached = getattr(self, "_normalized_cache", None)
+        if cached is not None:
+            return cached
+        counts = self.as_array()
+        total = counts.sum()
+        if total <= 0:
+            normalized = np.full(self.binning.bins, 1.0 / self.binning.bins)
+        else:
+            normalized = counts / total
+        normalized.setflags(write=False)
+        object.__setattr__(self, "_normalized_cache", normalized)
+        return normalized
+
+    def mean_score(self) -> float:
+        """Approximate mean score using bin centres (for statistics panels)."""
+        weights = self.normalized()
+        return float(np.dot(weights, self.binning.centers))
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Combine two histograms over the same binning (union of groups)."""
+        if other.binning != self.binning:
+            raise FormulationError("cannot merge histograms with different binnings")
+        summed = tuple(a + b for a, b in zip(self.counts, other.counts))
+        return Histogram(binning=self.binning, counts=summed)
+
+    def describe(self) -> str:
+        """One-line rendering used by the session layer, e.g. ``[2|0|1|3|4]``."""
+        return "[" + "|".join(str(c) for c in self.counts) + "]"
+
+
+def build_histogram(
+    scores: Iterable[float],
+    binning: Optional[Binning] = None,
+    bins: int = DEFAULT_BINS,
+) -> Histogram:
+    """Build a histogram of ``scores``.
+
+    When ``binning`` is omitted a unit-interval binning with ``bins`` bins is
+    used, matching the paper's normalised scoring functions.  Scores outside
+    the binning range are clamped into the extreme bins (this only happens
+    with user-supplied, non-normalised functions).
+    """
+    if binning is None:
+        binning = Binning.unit(bins)
+    values = np.asarray(list(scores), dtype=float)
+    counts = np.zeros(binning.bins, dtype=int)
+    if values.size:
+        clipped = np.clip(values, binning.edges[0], binning.edges[-1])
+        raw_counts, _ = np.histogram(clipped, bins=binning.edges)
+        counts = raw_counts.astype(int)
+    return Histogram(binning=binning, counts=tuple(int(c) for c in counts))

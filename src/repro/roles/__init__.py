@@ -1,0 +1,19 @@
+"""User-role workflows: auditor, job owner and end user (S11)."""
+
+from repro.roles.auditor import AuditReport, Auditor, JobAudit
+from repro.roles.end_user import EndUser, GroupOutcome
+from repro.roles.job_owner import JobOwner, JobOwnerReport, VariantEvaluation
+from repro.roles.report import ReportTable, format_table
+
+__all__ = [
+    "Auditor",
+    "AuditReport",
+    "JobAudit",
+    "JobOwner",
+    "JobOwnerReport",
+    "VariantEvaluation",
+    "EndUser",
+    "GroupOutcome",
+    "ReportTable",
+    "format_table",
+]

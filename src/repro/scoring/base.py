@@ -1,0 +1,140 @@
+"""Scoring-function interface.
+
+A scoring function maps every individual to a score in (ideally) [0, 1]; the
+marketplace ranks candidates for a job by decreasing score.  FaiRank treats
+the scoring function as the object under audit: it asks how differently the
+function scores groups of individuals defined by protected attributes.
+
+Two transparency regimes exist (paper §1/§2):
+
+* *function transparent* — the function itself is known (a weighted linear
+  combination of observed attributes, :mod:`repro.scoring.linear`);
+* *function opaque* — only the produced ranking is visible, and scores must
+  be reconstructed from ranks (:mod:`repro.scoring.rank`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.dataset import Dataset, Individual
+from repro.errors import ScoringError
+
+__all__ = ["ScoringFunction", "Ranking", "rank_by_score"]
+
+
+class ScoringFunction:
+    """Abstract scoring function ``f: W -> [0, 1]``.
+
+    Concrete subclasses implement :meth:`score_individual`; the convenience
+    methods for scoring whole datasets and producing rankings are shared.
+    """
+
+    #: Human-readable name shown in panels and experiment tables.
+    name: str = "scoring-function"
+
+    #: Whether the functional form is visible to the auditor.  Opaque
+    #: functions only expose the ranking they induce.
+    transparent: bool = True
+
+    def score_individual(self, individual: Individual) -> float:
+        """Score one individual."""
+        raise NotImplementedError
+
+    def score_dataset(self, dataset: Dataset) -> np.ndarray:
+        """Score every individual of ``dataset`` in row order."""
+        return np.asarray(
+            [self.score_individual(individual) for individual in dataset], dtype=float
+        )
+
+    def score_map(self, dataset: Dataset) -> Dict[str, float]:
+        """Mapping of individual id -> score."""
+        scores = self.score_dataset(dataset)
+        return {individual.uid: float(score) for individual, score in zip(dataset, scores)}
+
+    def rank(self, dataset: Dataset) -> "Ranking":
+        """Rank the dataset by decreasing score (ties broken by id for determinism)."""
+        return rank_by_score(dataset, self)
+
+    def describe(self) -> str:
+        """Human-readable description of the function (overridable)."""
+        return self.name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.describe()}>"
+
+
+@dataclass(frozen=True)
+class Ranking:
+    """An ordered ranking of individuals with their (possibly hidden) scores.
+
+    ``entries`` is a tuple of ``(uid, score)`` pairs ordered best-first.  When
+    the scoring function is opaque the scores carried here are *not* shown to
+    the auditor — only positions are (see :class:`repro.scoring.rank.RankDerivedScorer`).
+    """
+
+    entries: Tuple[Tuple[str, float], ...]
+    function_name: str = "scoring-function"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "entries", tuple((str(u), float(s)) for u, s in self.entries))
+        uids = [uid for uid, _ in self.entries]
+        if len(set(uids)) != len(uids):
+            raise ScoringError("ranking contains duplicate individuals")
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    @property
+    def uids(self) -> Tuple[str, ...]:
+        """Individual ids, best first."""
+        return tuple(uid for uid, _ in self.entries)
+
+    @property
+    def scores(self) -> Tuple[float, ...]:
+        """Scores aligned with :attr:`uids`."""
+        return tuple(score for _, score in self.entries)
+
+    def position(self, uid: str) -> int:
+        """1-based position of ``uid`` in the ranking."""
+        for index, (candidate, _) in enumerate(self.entries, start=1):
+            if candidate == uid:
+                return index
+        raise ScoringError(f"individual {uid!r} does not appear in the ranking")
+
+    def top(self, k: int) -> Tuple[str, ...]:
+        """Ids of the best ``k`` individuals."""
+        if k < 0:
+            raise ScoringError(f"top-k requires k >= 0, got {k}")
+        return self.uids[:k]
+
+    def score_of(self, uid: str) -> float:
+        """Score of ``uid`` (raises if absent)."""
+        for candidate, score in self.entries:
+            if candidate == uid:
+                return score
+        raise ScoringError(f"individual {uid!r} does not appear in the ranking")
+
+    def as_table(self) -> List[Dict[str, object]]:
+        """Rows of (position, uid, score) for display/export."""
+        return [
+            {"position": index, "uid": uid, "score": score}
+            for index, (uid, score) in enumerate(self.entries, start=1)
+        ]
+
+
+def rank_by_score(dataset: Dataset, function: ScoringFunction) -> Ranking:
+    """Produce a best-first ranking of ``dataset`` under ``function``."""
+    scores = function.score_dataset(dataset)
+    order: Sequence[int] = sorted(
+        range(len(dataset)),
+        key=lambda i: (-scores[i], dataset[i].uid),
+    )
+    entries = tuple((dataset[i].uid, float(scores[i])) for i in order)
+    return Ranking(entries=entries, function_name=function.name)

@@ -1,0 +1,125 @@
+"""Rank-derived scores for the function-opaque transparency setting.
+
+"When the function is not available, FaiRank builds histograms using ranks of
+individuals rather than actual function scores" (paper §1, Data and Function
+Transparencies).  This module implements that substitution: given only a
+:class:`~repro.scoring.base.Ranking` (the ordered list a marketplace actually
+displays), it assigns each individual a pseudo-score derived from its
+position, so that all downstream machinery (histograms, EMD, QUANTIFY) runs
+unchanged.
+
+Two position-to-score conventions are provided:
+
+* ``linear`` — the best individual gets 1.0 and the worst gets 0.0, evenly
+  spaced (equivalent to using normalised rank positions as scores);
+* ``exposure`` — positions are weighted by the standard logarithmic discount
+  ``1 / log2(position + 1)`` used in fairness-of-exposure work [9], giving
+  more separation near the top of the ranking where attention concentrates.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Literal
+
+from repro.data.dataset import Dataset, Individual
+from repro.errors import ScoringError
+from repro.scoring.base import Ranking, ScoringFunction
+
+__all__ = ["RankDerivedScorer", "OpaqueScoringFunction"]
+
+PositionWeighting = Literal["linear", "exposure"]
+
+
+class RankDerivedScorer(ScoringFunction):
+    """Scores reconstructed from an observed ranking (function not transparent)."""
+
+    def __init__(
+        self,
+        ranking: Ranking,
+        weighting: PositionWeighting = "linear",
+        name: str = "rank-derived",
+    ) -> None:
+        if len(ranking) == 0:
+            raise ScoringError("cannot derive scores from an empty ranking")
+        if weighting not in ("linear", "exposure"):
+            raise ScoringError(
+                f"unknown position weighting {weighting!r}; use 'linear' or 'exposure'"
+            )
+        self.ranking = ranking
+        self.weighting = weighting
+        self.name = name
+        self.transparent = False
+        self._scores = self._derive_scores()
+
+    def _derive_scores(self) -> Dict[str, float]:
+        count = len(self.ranking)
+        scores: Dict[str, float] = {}
+        if self.weighting == "linear":
+            for position, (uid, _) in enumerate(self.ranking, start=1):
+                if count == 1:
+                    scores[uid] = 1.0
+                else:
+                    scores[uid] = 1.0 - (position - 1) / (count - 1)
+        else:  # exposure
+            raw = {
+                uid: 1.0 / math.log2(position + 1)
+                for position, (uid, _) in enumerate(self.ranking, start=1)
+            }
+            max_exposure = max(raw.values())
+            min_exposure = min(raw.values())
+            span = max_exposure - min_exposure
+            for uid, exposure in raw.items():
+                scores[uid] = 1.0 if span == 0 else (exposure - min_exposure) / span
+        return scores
+
+    def score_individual(self, individual: Individual) -> float:
+        try:
+            return self._scores[individual.uid]
+        except KeyError:
+            raise ScoringError(
+                f"individual {individual.uid!r} does not appear in the observed ranking"
+            ) from None
+
+    def describe(self) -> str:
+        return f"{self.name}: scores derived from ranking positions ({self.weighting})"
+
+
+class OpaqueScoringFunction(ScoringFunction):
+    """Wrap a true scoring function but only expose the ranking it induces.
+
+    This models the black-box marketplace: internally the platform computes
+    real scores with ``hidden``, but the auditor only ever sees positions.
+    ``reveal_ranking`` returns the observable artefact; the auditor then
+    analyses it through a :class:`RankDerivedScorer`.  Calling
+    :meth:`score_individual` directly raises, which keeps experiments honest
+    about what information each transparency setting uses.
+    """
+
+    def __init__(self, hidden: ScoringFunction, name: str = "opaque") -> None:
+        self.hidden = hidden
+        self.name = name
+        self.transparent = False
+
+    def score_individual(self, individual: Individual) -> float:
+        raise ScoringError(
+            f"scoring function {self.name!r} is opaque; use reveal_ranking() and a "
+            "RankDerivedScorer instead of reading scores directly"
+        )
+
+    def reveal_ranking(self, dataset: Dataset) -> Ranking:
+        """Return the ranking the marketplace displays (positions only are meaningful)."""
+        return self.hidden.rank(dataset)
+
+    def as_rank_scorer(
+        self, dataset: Dataset, weighting: PositionWeighting = "linear"
+    ) -> RankDerivedScorer:
+        """Convenience: observable ranking -> rank-derived scorer in one step."""
+        return RankDerivedScorer(
+            self.reveal_ranking(dataset),
+            weighting=weighting,
+            name=f"{self.name}-from-ranks",
+        )
+
+    def describe(self) -> str:
+        return f"{self.name}: opaque scoring function (only its ranking is observable)"

@@ -1,0 +1,19 @@
+"""Interactive session layer: engine, configuration, panels, rendering (S12)."""
+
+from repro.session.config import SessionConfig
+from repro.session.engine import FaiRankEngine
+from repro.session.panels import Panel, compare_panels
+from repro.session.render import render_histogram, render_partitioning, render_tree
+from repro.session.stats import node_stats, tree_stats
+
+__all__ = [
+    "FaiRankEngine",
+    "SessionConfig",
+    "Panel",
+    "compare_panels",
+    "render_tree",
+    "render_partitioning",
+    "render_histogram",
+    "node_stats",
+    "tree_stats",
+]

@@ -1,0 +1,105 @@
+"""Session configuration (the "Configuration box" of the FaiRank interface).
+
+Figure 3 of the paper: "The Configuration box on the left allows users to
+choose which dataset and which scoring functions they want to explore.  It
+allows them to also choose a fairness criterion."  A :class:`SessionConfig`
+is the headless equivalent: a named selection of dataset, scoring function,
+fairness formulation, optional population filter, optional anonymisation
+level and optional function-transparency override.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+from repro.core.formulations import Formulation, MOST_UNFAIR_AVG_EMD
+from repro.data.filters import Filter, TrueFilter
+from repro.errors import SessionError
+
+__all__ = ["SessionConfig"]
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """One panel's worth of configuration.
+
+    Attributes
+    ----------
+    dataset_name:
+        Name of a dataset registered with the engine.
+    function_name:
+        Name of a scoring function registered with the engine.
+    formulation:
+        Fairness criterion (objective, aggregation, distance, bins).
+    attributes:
+        Protected attributes the partitioning may split on (None = all).
+    row_filter:
+        Optional restriction of the population.
+    anonymity_k:
+        Data-transparency setting: 1 means raw data; larger values
+        k-anonymise the protected attributes before analysis.
+    use_ranks_only:
+        Function-transparency setting: when True the panel ignores the
+        function's scores and rebuilds them from the ranking it induces.
+    max_depth / min_partition_size:
+        QUANTIFY search controls.
+    """
+
+    dataset_name: str
+    function_name: str
+    formulation: Formulation = MOST_UNFAIR_AVG_EMD
+    attributes: Optional[Tuple[str, ...]] = None
+    row_filter: Filter = field(default_factory=TrueFilter)
+    anonymity_k: int = 1
+    use_ranks_only: bool = False
+    max_depth: Optional[int] = None
+    min_partition_size: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.dataset_name:
+            raise SessionError("a session configuration needs a dataset name")
+        if not self.function_name:
+            raise SessionError("a session configuration needs a scoring-function name")
+        if self.anonymity_k < 1:
+            raise SessionError(f"anonymity_k must be >= 1, got {self.anonymity_k}")
+        if self.min_partition_size < 1:
+            raise SessionError(
+                f"min_partition_size must be >= 1, got {self.min_partition_size}"
+            )
+        if self.attributes is not None:
+            object.__setattr__(self, "attributes", tuple(self.attributes))
+
+    # -- variants (the interactive "modify and re-run" loop) --------------------
+
+    def with_function(self, function_name: str) -> "SessionConfig":
+        return replace(self, function_name=function_name)
+
+    def with_formulation(self, formulation: Formulation) -> "SessionConfig":
+        return replace(self, formulation=formulation)
+
+    def with_filter(self, row_filter: Filter) -> "SessionConfig":
+        return replace(self, row_filter=row_filter)
+
+    def with_anonymity(self, k: int) -> "SessionConfig":
+        return replace(self, anonymity_k=k)
+
+    def with_ranks_only(self, use_ranks_only: bool = True) -> "SessionConfig":
+        return replace(self, use_ranks_only=use_ranks_only)
+
+    def with_attributes(self, attributes: Optional[Tuple[str, ...]]) -> "SessionConfig":
+        return replace(self, attributes=attributes)
+
+    def describe(self) -> str:
+        lines = [
+            f"dataset: {self.dataset_name}",
+            f"scoring function: {self.function_name}",
+            f"fairness criterion: {self.formulation.describe()}",
+            f"data transparency: {'raw attributes' if self.anonymity_k <= 1 else f'{self.anonymity_k}-anonymised'}",
+            f"function transparency: {'ranks only' if self.use_ranks_only else 'scores visible'}",
+        ]
+        if self.attributes is not None:
+            lines.append(f"protected attributes: {', '.join(self.attributes)}")
+        if not isinstance(self.row_filter, TrueFilter):
+            lines.append(f"filter: {self.row_filter.describe()}")
+        return "\n".join(lines)

@@ -1,0 +1,203 @@
+"""The FaiRank session engine (headless equivalent of the demo system).
+
+Figure 1 of the paper shows the pipeline: the user selects or uploads a
+dataset, optionally filters and anonymises it, selects or defines a scoring
+function (or provides only a ranking), chooses a fairness formulation, and
+FaiRank solves the partitioning optimisation and displays the result in a
+panel; the user then iterates by changing the function or the formulation
+and comparing panels.
+
+:class:`FaiRankEngine` implements that loop programmatically:
+
+* ``register_dataset`` / ``register_function`` populate the catalogues the
+  Configuration box would list;
+* ``open_panel(config)`` runs the full pipeline for one configuration and
+  returns a :class:`~repro.session.panels.Panel`;
+* ``compare(...)`` renders the multi-panel comparison table;
+* role helpers (``auditor_view`` etc.) connect the engine to the scenario
+  workflows of :mod:`repro.roles`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.anonymize.kanonymity import GlobalRecodingAnonymizer
+from repro.core.quantify import quantify
+from repro.core.unfairness import unfairness_breakdown
+from repro.data.dataset import Dataset
+from repro.data.filters import TrueFilter, apply_filter
+from repro.errors import SessionError
+from repro.marketplace.entities import Marketplace
+from repro.roles.auditor import AuditReport, Auditor
+from repro.roles.end_user import EndUser
+from repro.roles.job_owner import JobOwner, JobOwnerReport
+from repro.roles.report import ReportTable
+from repro.scoring.base import ScoringFunction
+from repro.scoring.library import ScoringLibrary
+from repro.scoring.rank import OpaqueScoringFunction, RankDerivedScorer
+from repro.session.config import SessionConfig
+from repro.session.panels import Panel, compare_panels
+
+__all__ = ["FaiRankEngine"]
+
+
+class FaiRankEngine:
+    """Headless FaiRank system: dataset/function catalogues plus panels."""
+
+    def __init__(self) -> None:
+        self._datasets: Dict[str, Dataset] = {}
+        self._functions = ScoringLibrary()
+        self._panels: Dict[str, Panel] = {}
+        self._panel_counter = 0
+        self._anonymizer = GlobalRecodingAnonymizer()
+
+    # -- catalogues (the Configuration box) ---------------------------------------
+
+    def register_dataset(self, dataset: Dataset, name: Optional[str] = None) -> str:
+        """Add a dataset to the catalogue; returns the name it is registered under."""
+        key = name or dataset.name
+        if not key:
+            raise SessionError("a dataset needs a non-empty name to be registered")
+        self._datasets[key] = dataset
+        return key
+
+    def register_function(self, function: ScoringFunction, replace: bool = True) -> str:
+        """Add a scoring function to the catalogue; returns its name."""
+        self._functions.register(function, replace=replace)
+        return function.name
+
+    def register_marketplace(self, marketplace: Marketplace) -> Tuple[str, List[str]]:
+        """Register a marketplace's workers and every job's scoring function.
+
+        Returns the dataset name and the list of registered function names.
+        """
+        dataset_name = self.register_dataset(marketplace.workers, name=marketplace.name)
+        function_names = []
+        for job in marketplace:
+            self.register_function(job.function, replace=True)
+            function_names.append(job.function.name)
+        return dataset_name, function_names
+
+    @property
+    def dataset_names(self) -> Tuple[str, ...]:
+        return tuple(self._datasets)
+
+    @property
+    def function_names(self) -> Tuple[str, ...]:
+        return self._functions.names
+
+    def dataset(self, name: str) -> Dataset:
+        try:
+            return self._datasets[name]
+        except KeyError:
+            raise SessionError(
+                f"unknown dataset {name!r}; registered: {', '.join(sorted(self._datasets))}"
+            ) from None
+
+    def function(self, name: str) -> ScoringFunction:
+        return self._functions.get(name)
+
+    # -- the pipeline of Figure 1 ----------------------------------------------------
+
+    def _prepare_population(self, config: SessionConfig) -> Dataset:
+        """Select, filter and (optionally) anonymise the population."""
+        population = self.dataset(config.dataset_name)
+        if not isinstance(config.row_filter, TrueFilter):
+            population = apply_filter(population, config.row_filter)
+            if not len(population):
+                raise SessionError(
+                    f"the filter ({config.row_filter.describe()}) matches no individuals "
+                    f"of dataset {config.dataset_name!r}"
+                )
+        if config.anonymity_k > 1:
+            population = self._anonymizer.anonymize(
+                population, k=config.anonymity_k
+            ).dataset
+        return population
+
+    def _prepare_function(
+        self, config: SessionConfig, population: Dataset
+    ) -> ScoringFunction:
+        """Resolve the scoring function under the configured transparency setting."""
+        function = self.function(config.function_name)
+        if isinstance(function, OpaqueScoringFunction):
+            # The platform hides the function: only its ranking is available.
+            return RankDerivedScorer(
+                function.reveal_ranking(population),
+                name=f"{config.function_name}-from-ranks",
+            )
+        if config.use_ranks_only:
+            return RankDerivedScorer(
+                function.rank(population), name=f"{config.function_name}-from-ranks"
+            )
+        return function
+
+    def open_panel(self, config: SessionConfig, panel_id: Optional[str] = None) -> Panel:
+        """Run the full pipeline for one configuration and keep the panel open."""
+        population = self._prepare_population(config)
+        function = self._prepare_function(config, population)
+        result = quantify(
+            population,
+            function,
+            formulation=config.formulation,
+            attributes=config.attributes,
+            max_depth=config.max_depth,
+            min_partition_size=config.min_partition_size,
+        )
+        breakdown = unfairness_breakdown(result.partitioning, function, config.formulation)
+        self._panel_counter += 1
+        identifier = panel_id or f"P{self._panel_counter}"
+        panel = Panel(
+            panel_id=identifier,
+            config=config,
+            population=population,
+            effective_function=function,
+            result=result,
+            breakdown=breakdown,
+        )
+        self._panels[identifier] = panel
+        return panel
+
+    def panel(self, panel_id: str) -> Panel:
+        try:
+            return self._panels[panel_id]
+        except KeyError:
+            raise SessionError(
+                f"no open panel {panel_id!r}; open panels: {', '.join(sorted(self._panels))}"
+            ) from None
+
+    @property
+    def open_panels(self) -> Tuple[str, ...]:
+        return tuple(self._panels)
+
+    def close_panel(self, panel_id: str) -> None:
+        self.panel(panel_id)
+        del self._panels[panel_id]
+
+    def compare(self, panel_ids: Optional[Sequence[str]] = None) -> ReportTable:
+        """Side-by-side comparison of open panels (all of them by default)."""
+        identifiers = tuple(panel_ids) if panel_ids is not None else tuple(self._panels)
+        panels = [self.panel(identifier) for identifier in identifiers]
+        return compare_panels(panels)
+
+    # -- role shortcuts ---------------------------------------------------------------
+
+    def auditor_view(self, marketplace: Marketplace, **auditor_kwargs) -> AuditReport:
+        """Run the AUDITOR scenario on a marketplace."""
+        return Auditor(**auditor_kwargs).audit_marketplace(marketplace)
+
+    def job_owner_view(
+        self, marketplace: Marketplace, job_title: str, sweep_steps: int = 5, **owner_kwargs
+    ) -> JobOwnerReport:
+        """Run the JOB OWNER scenario for one job."""
+        return JobOwner(**owner_kwargs).explore_job(marketplace, job_title, sweep_steps=sweep_steps)
+
+    def end_user_view(
+        self,
+        group: Dict[str, object],
+        marketplaces: Sequence[Marketplace],
+        job_title: str,
+    ) -> ReportTable:
+        """Run the END-USER scenario: one group, one job, several marketplaces."""
+        return EndUser(group).compare_marketplaces(list(marketplaces), job_title)

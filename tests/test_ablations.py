@@ -1,0 +1,77 @@
+"""Tests for the ablation studies (repro.experiments.ablations)."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.ablations import (
+    ablate_bins,
+    ablate_min_partition_size,
+    ablate_split_criterion,
+)
+from repro.experiments.workloads import biased_population
+from repro.scoring.linear import LinearScoringFunction
+
+
+@pytest.fixture(scope="module")
+def population():
+    dataset, _ = biased_population(size=200, seed=7, penalty=-0.3)
+    return dataset
+
+
+@pytest.fixture(scope="module")
+def function():
+    return LinearScoringFunction({"Language Test": 0.5, "Rating": 0.5}, name="balanced")
+
+
+class TestAblateBins:
+    def test_one_row_per_bin_count(self, population, function):
+        table = ablate_bins(population, function, bin_counts=(3, 5, 10))
+        assert table.column("bins") == [3, 5, 10]
+
+    def test_normalised_unfairness_is_bounded(self, population, function):
+        table = ablate_bins(population, function, bin_counts=(3, 5, 10))
+        for value in table.column("unfairness (normalised)"):
+            assert 0.0 <= value <= 1.0
+
+    def test_bin_unit_unfairness_grows_with_resolution(self, population, function):
+        table = ablate_bins(population, function, bin_counts=(3, 20))
+        values = table.column("unfairness (bin units)")
+        assert values[1] >= values[0]
+
+    def test_empty_bin_counts_rejected(self, population, function):
+        with pytest.raises(ExperimentError):
+            ablate_bins(population, function, bin_counts=())
+
+
+class TestAblateMinPartitionSize:
+    def test_larger_minimum_never_increases_unfairness(self, population, function):
+        table = ablate_min_partition_size(population, function, sizes=(1, 5, 25))
+        values = table.column("unfairness")
+        assert values[0] >= values[-1] - 1e-9
+
+    def test_smallest_group_respects_minimum(self, population, function):
+        table = ablate_min_partition_size(population, function, sizes=(5, 10))
+        for record in table.to_records():
+            assert record["smallest group"] >= record["min size"]
+
+    def test_empty_sizes_rejected(self, population, function):
+        with pytest.raises(ExperimentError):
+            ablate_min_partition_size(population, function, sizes=())
+
+
+class TestAblateSplitCriterion:
+    def test_informed_criteria_beat_random(self, population, function):
+        table = ablate_split_criterion(population, function, random_trials=3)
+        records = {record["criterion"]: record for record in table.to_records()}
+        algorithm1 = records["Algorithm 1 (local most-unfair attribute)"]["unfairness"]
+        random_key = next(key for key in records if key.startswith("random"))
+        assert algorithm1 >= records[random_key]["unfairness"] - 1e-9
+
+    def test_all_rows_have_nonnegative_unfairness(self, population, function):
+        table = ablate_split_criterion(population, function, random_trials=2)
+        assert all(value >= 0.0 for value in table.column("unfairness"))
+
+    def test_deterministic_given_seed(self, population, function):
+        first = ablate_split_criterion(population, function, random_trials=2, seed=3)
+        second = ablate_split_criterion(population, function, random_trials=2, seed=3)
+        assert first.column("unfairness") == second.column("unfairness")

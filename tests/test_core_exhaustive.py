@@ -1,0 +1,123 @@
+"""Tests for the exhaustive enumeration baseline."""
+
+import pytest
+
+from repro.core.exhaustive import (
+    count_partitionings,
+    enumerate_partitionings,
+    exhaustive_search,
+)
+from repro.core.formulations import Formulation, Objective
+from repro.core.quantify import quantify
+from repro.core.unfairness import unfairness
+from repro.data.dataset import Dataset
+from repro.data.schema import Schema, observed, protected
+from repro.errors import PartitioningError
+from repro.scoring.linear import LinearScoringFunction
+
+
+@pytest.fixture
+def tiny_dataset():
+    schema = Schema((
+        protected("A", domain=("x", "y")),
+        protected("B", domain=("p", "q")),
+        observed("S"),
+    ))
+    rows = [
+        {"A": "x", "B": "p", "S": 0.1},
+        {"A": "x", "B": "q", "S": 0.3},
+        {"A": "y", "B": "p", "S": 0.7},
+        {"A": "y", "B": "q", "S": 0.9},
+        {"A": "x", "B": "p", "S": 0.2},
+        {"A": "y", "B": "q", "S": 0.8},
+    ]
+    return Dataset.from_records(schema, rows)
+
+
+@pytest.fixture
+def score_function():
+    return LinearScoringFunction({"S": 1.0})
+
+
+class TestEnumeration:
+    def test_all_partitionings_are_valid(self, tiny_dataset):
+        for partitioning in enumerate_partitionings(tiny_dataset):
+            assert sum(partitioning.sizes) == len(tiny_dataset)
+            assert len(partitioning) >= 2
+
+    def test_count_for_two_binary_attributes(self, tiny_dataset):
+        # Hierarchical partitionings over two binary attributes:
+        # split A (2 leaves), split B (2), A then B on either/both children,
+        # B then A on either/both children, minus duplicates.
+        count = count_partitionings(tiny_dataset)
+        assert count == 7
+
+    def test_enumeration_is_deduplicated(self, tiny_dataset):
+        keys = [p.key() for p in enumerate_partitionings(tiny_dataset)]
+        assert len(keys) == len(set(keys))
+
+    def test_trivial_partitioning_excluded_by_default(self, tiny_dataset):
+        for partitioning in enumerate_partitionings(tiny_dataset):
+            assert len(partitioning) > 1
+
+    def test_trivial_partitioning_included_on_request(self, tiny_dataset):
+        sizes = [len(p) for p in
+                 enumerate_partitionings(tiny_dataset, require_multiple=False)]
+        assert 1 in sizes
+
+    def test_limit_enforced(self, tiny_dataset):
+        with pytest.raises(PartitioningError):
+            list(enumerate_partitionings(tiny_dataset, limit=2))
+
+    def test_attribute_subset(self, tiny_dataset):
+        partitionings = list(enumerate_partitionings(tiny_dataset, attributes=["A"]))
+        assert len(partitionings) == 1
+        assert set(partitionings[0].labels) == {"A=x", "A=y"}
+
+
+class TestExhaustiveSearch:
+    def test_finds_global_optimum(self, tiny_dataset, score_function):
+        result = exhaustive_search(tiny_dataset, score_function)
+        best_by_scan = max(
+            unfairness(p, score_function)
+            for p in enumerate_partitionings(tiny_dataset)
+        )
+        assert result.unfairness == pytest.approx(best_by_scan)
+        assert result.explored == count_partitionings(tiny_dataset)
+
+    def test_greedy_never_beats_exhaustive(self, tiny_dataset, score_function):
+        greedy = quantify(tiny_dataset, score_function)
+        exact = exhaustive_search(tiny_dataset, score_function)
+        assert greedy.unfairness <= exact.unfairness + 1e-9
+
+    def test_least_unfair_objective(self, tiny_dataset, score_function):
+        formulation = Formulation(objective=Objective.LEAST_UNFAIR)
+        result = exhaustive_search(tiny_dataset, score_function, formulation=formulation)
+        worst = exhaustive_search(tiny_dataset, score_function)
+        assert result.unfairness <= worst.unfairness
+
+    def test_single_value_attributes_yield_trivial_result(self, score_function):
+        schema = Schema((protected("A", domain=("only",)), observed("S")))
+        rows = [{"A": "only", "S": 0.2}, {"A": "only", "S": 0.9}]
+        dataset = Dataset.from_records(schema, rows)
+        result = exhaustive_search(dataset, score_function)
+        assert len(result.partitioning) == 1
+        assert result.unfairness == 0.0
+
+    def test_summary(self, tiny_dataset, score_function):
+        result = exhaustive_search(tiny_dataset, score_function)
+        summary = result.summary()
+        assert summary["explored"] == result.explored
+        assert summary["partitions"] == len(result.partitioning)
+
+    def test_table1_gender_language_optimum(self, table1_dataset, table1_function):
+        result = exhaustive_search(
+            table1_dataset, table1_function, attributes=["Gender", "Language"]
+        )
+        # The optimum over these two attributes must be at least as unfair as
+        # the flat single-attribute partitionings.
+        from repro.core.partition import Partitioning
+
+        for attribute in ("Gender", "Language"):
+            flat = Partitioning.by_attributes(table1_dataset, [attribute])
+            assert result.unfairness >= unfairness(flat, table1_function) - 1e-9

@@ -1,0 +1,120 @@
+"""Tests for repro.core.problem (FairnessProblem)."""
+
+import pytest
+
+from repro.core.formulations import Formulation, Objective
+from repro.core.problem import FairnessProblem
+from repro.data.filters import Equals
+from repro.errors import PartitioningError, ScoringError
+from repro.scoring.linear import LinearScoringFunction
+
+
+class TestConstruction:
+    def test_basic_problem(self, table1_dataset, table1_function):
+        problem = FairnessProblem(dataset=table1_dataset, function=table1_function)
+        assert problem.population is table1_dataset
+        assert problem.protected_attributes == table1_dataset.schema.protected_names
+
+    def test_attribute_validation(self, table1_dataset, table1_function):
+        with pytest.raises(Exception):
+            FairnessProblem(
+                dataset=table1_dataset, function=table1_function, attributes=("Rating",)
+            )
+
+    def test_function_validation(self, table1_dataset):
+        bad = LinearScoringFunction({"NotAColumn": 1.0})
+        with pytest.raises(ScoringError):
+            FairnessProblem(dataset=table1_dataset, function=bad)
+
+    def test_describe_mentions_components(self, table1_dataset, table1_function):
+        problem = FairnessProblem(
+            dataset=table1_dataset,
+            function=table1_function,
+            row_filter=Equals("Language", "English"),
+        )
+        text = problem.describe()
+        assert table1_dataset.name in text
+        assert "Language" in text
+
+
+class TestPopulationFilter:
+    def test_filter_restricts_population(self, table1_dataset, table1_function):
+        problem = FairnessProblem(
+            dataset=table1_dataset,
+            function=table1_function,
+            row_filter=Equals("Language", "English"),
+        )
+        assert len(problem.population) == 7
+        assert all(ind["Language"] == "English" for ind in problem.population)
+
+    def test_empty_filter_result_raises(self, table1_dataset, table1_function):
+        problem = FairnessProblem(
+            dataset=table1_dataset,
+            function=table1_function,
+            row_filter=Equals("Language", "Martian"),
+        )
+        with pytest.raises(PartitioningError):
+            problem.population
+
+
+class TestVariants:
+    def test_with_function(self, table1_dataset, table1_function):
+        problem = FairnessProblem(dataset=table1_dataset, function=table1_function)
+        other = LinearScoringFunction({"Rating": 1.0}, name="rating-only")
+        variant = problem.with_function(other)
+        assert variant.function.name == "rating-only"
+        assert problem.function.name == table1_function.name
+
+    def test_with_formulation_and_objective(self, table1_dataset, table1_function):
+        problem = FairnessProblem(dataset=table1_dataset, function=table1_function)
+        least = problem.with_objective(Objective.LEAST_UNFAIR)
+        assert least.formulation.objective is Objective.LEAST_UNFAIR
+        custom = problem.with_formulation(Formulation(bins=10))
+        assert custom.formulation.bins == 10
+
+    def test_with_filter(self, table1_dataset, table1_function):
+        problem = FairnessProblem(dataset=table1_dataset, function=table1_function)
+        filtered = problem.with_filter(Equals("Gender", "Female"))
+        assert len(filtered.population) == 4
+
+
+class TestSolving:
+    def test_solve_greedy(self, table1_dataset, table1_function):
+        problem = FairnessProblem(
+            dataset=table1_dataset,
+            function=table1_function,
+            attributes=("Gender", "Language", "Country", "Ethnicity"),
+        )
+        result = problem.solve()
+        assert result.unfairness > 0.0
+        assert sum(result.partitioning.sizes) == 10
+
+    def test_solve_exactly(self, table1_dataset, table1_function):
+        problem = FairnessProblem(
+            dataset=table1_dataset,
+            function=table1_function,
+            attributes=("Gender", "Language"),
+        )
+        greedy = problem.solve()
+        exact = problem.solve_exactly()
+        assert greedy.unfairness <= exact.unfairness + 1e-9
+
+    def test_solve_most_vs_least(self, table1_dataset, table1_function):
+        problem = FairnessProblem(
+            dataset=table1_dataset,
+            function=table1_function,
+            attributes=("Gender", "Language"),
+        )
+        most = problem.solve_exactly()
+        least = problem.with_objective(Objective.LEAST_UNFAIR).solve_exactly()
+        assert least.unfairness <= most.unfairness
+
+    def test_solve_respects_filter(self, table1_dataset, table1_function):
+        problem = FairnessProblem(
+            dataset=table1_dataset,
+            function=table1_function,
+            attributes=("Gender", "Country"),
+            row_filter=Equals("Language", "English"),
+        )
+        result = problem.solve()
+        assert sum(result.partitioning.sizes) == 7

@@ -1,0 +1,173 @@
+"""Tests for repro.core.unfairness (Definition 2 of the paper)."""
+
+import numpy as np
+import pytest
+
+from repro.core.formulations import Aggregation, Formulation, Objective
+from repro.core.partition import Partitioning, root_partition, split_partition
+from repro.core.unfairness import (
+    cross_distances,
+    pairwise_distances,
+    partition_vs_siblings,
+    unfairness,
+    unfairness_breakdown,
+)
+from repro.metrics.distances import get_distance
+from repro.metrics.histogram import Binning, build_histogram
+from repro.scoring.linear import LinearScoringFunction
+
+
+@pytest.fixture
+def gender_partitioning(table1_dataset):
+    return Partitioning.by_attributes(table1_dataset, ["Gender"])
+
+
+class TestPairwiseDistances:
+    def test_number_of_pairs(self, table1_dataset, table1_function):
+        partitioning = Partitioning.by_attributes(table1_dataset, ["Country"])
+        histograms = partitioning.histograms(table1_function, binning=Binning.unit(5))
+        values = pairwise_distances(histograms, Formulation())
+        count = len(histograms)
+        assert len(values) == count * (count - 1) // 2
+
+    def test_single_histogram_has_no_pairs(self, table1_dataset, table1_function):
+        histograms = Partitioning.single(table1_dataset).histograms(table1_function)
+        assert pairwise_distances(histograms, Formulation()) == []
+
+    def test_vectorised_fast_path_matches_scalar_path(self):
+        binning = Binning.unit(5)
+        rng = np.random.default_rng(3)
+        histograms = [
+            build_histogram(rng.random(20), binning=binning) for _ in range(6)
+        ]
+        formulation = Formulation()
+        fast = pairwise_distances(histograms, formulation)
+        slow = [
+            formulation.distance(histograms[i], histograms[j])
+            for i in range(6)
+            for j in range(i + 1, 6)
+        ]
+        assert fast == pytest.approx(slow)
+
+    def test_fast_path_normalized_emd(self):
+        binning = Binning.unit(5)
+        histograms = [
+            build_histogram([0.0, 0.1], binning=binning),
+            build_histogram([0.5, 0.55], binning=binning),
+            build_histogram([0.9, 1.0], binning=binning),
+        ]
+        formulation = Formulation(distance=get_distance("normalized_emd"))
+        values = pairwise_distances(histograms, formulation)
+        assert all(0.0 <= v <= 1.0 for v in values)
+        assert max(values) == pytest.approx(
+            formulation.distance(histograms[0], histograms[2])
+        )
+
+    def test_non_emd_distance_uses_fallback(self):
+        binning = Binning.unit(5)
+        histograms = [build_histogram([0.1 * i], binning=binning) for i in range(4)]
+        formulation = Formulation(distance=get_distance("total_variation"))
+        values = pairwise_distances(histograms, formulation)
+        assert len(values) == 6
+
+
+class TestCrossDistances:
+    def test_cross_matches_individual_calls(self):
+        binning = Binning.unit(5)
+        rng = np.random.default_rng(5)
+        first = [build_histogram(rng.random(15), binning=binning) for _ in range(3)]
+        second = [build_histogram(rng.random(15), binning=binning) for _ in range(4)]
+        formulation = Formulation()
+        fast = cross_distances(first, second, formulation)
+        slow = [formulation.distance(a, b) for a in first for b in second]
+        assert fast == pytest.approx(slow)
+
+    def test_empty_inputs(self):
+        assert cross_distances([], [], Formulation()) == []
+
+    def test_partition_vs_siblings_no_siblings_is_zero(self, table1_dataset, table1_function):
+        histogram = root_partition(table1_dataset).histogram(table1_function)
+        assert partition_vs_siblings(histogram, [], Formulation()) == 0.0
+
+    def test_partition_vs_siblings_average(self):
+        binning = Binning.unit(5)
+        current = build_histogram([0.0], binning=binning)
+        siblings = [build_histogram([1.0], binning=binning), build_histogram([0.0], binning=binning)]
+        value = partition_vs_siblings(current, siblings, Formulation())
+        assert value == pytest.approx(2.0)  # (4 + 0) / 2
+
+
+class TestUnfairness:
+    def test_single_partition_has_zero_unfairness(self, table1_dataset, table1_function):
+        assert unfairness(Partitioning.single(table1_dataset), table1_function) == 0.0
+
+    def test_gender_partitioning_value(self, gender_partitioning, table1_function):
+        value = unfairness(gender_partitioning, table1_function)
+        assert value > 0.0
+        # Two partitions, so average == max == the single pairwise EMD.
+        assert value == pytest.approx(
+            unfairness(gender_partitioning, table1_function,
+                       Formulation(aggregation=Aggregation.MAXIMUM))
+        )
+
+    def test_unfairness_is_nonnegative(self, table1_dataset, table1_function):
+        for attributes in (["Gender"], ["Country"], ["Gender", "Language"]):
+            partitioning = Partitioning.by_attributes(table1_dataset, attributes)
+            assert unfairness(partitioning, table1_function) >= 0.0
+
+    def test_identical_groups_have_zero_unfairness(self):
+        from repro.data.dataset import Dataset
+        from repro.data.schema import Schema, observed, protected
+
+        schema = Schema((protected("G", domain=("a", "b")), observed("S")))
+        rows = [
+            {"G": "a", "S": 0.5}, {"G": "a", "S": 0.9},
+            {"G": "b", "S": 0.5}, {"G": "b", "S": 0.9},
+        ]
+        dataset = Dataset.from_records(schema, rows)
+        partitioning = Partitioning.by_attributes(dataset, ["G"])
+        function = LinearScoringFunction({"S": 1.0})
+        assert unfairness(partitioning, function) == pytest.approx(0.0)
+
+    def test_separated_groups_have_high_unfairness(self):
+        from repro.data.dataset import Dataset
+        from repro.data.schema import Schema, observed, protected
+
+        schema = Schema((protected("G", domain=("low", "high")), observed("S")))
+        rows = [{"G": "low", "S": 0.02}] * 3 + [{"G": "high", "S": 0.98}] * 3
+        dataset = Dataset.from_records(schema, rows)
+        partitioning = Partitioning.by_attributes(dataset, ["G"])
+        function = LinearScoringFunction({"S": 1.0})
+        # All mass moves across 4 bins.
+        assert unfairness(partitioning, function) == pytest.approx(4.0)
+
+
+class TestBreakdown:
+    def test_breakdown_fields(self, gender_partitioning, table1_function):
+        breakdown = unfairness_breakdown(gender_partitioning, table1_function)
+        assert breakdown.value == pytest.approx(unfairness(gender_partitioning, table1_function))
+        assert set(breakdown.partition_labels) == {"Gender=Female", "Gender=Male"}
+        assert breakdown.most_separated_pair is not None
+        assert breakdown.most_favored in breakdown.partition_labels
+        assert breakdown.least_favored in breakdown.partition_labels
+        assert breakdown.most_favored != breakdown.least_favored
+
+    def test_breakdown_mean_scores_match_partitions(self, gender_partitioning, table1_function):
+        breakdown = unfairness_breakdown(gender_partitioning, table1_function)
+        for partition in gender_partitioning:
+            assert breakdown.mean_scores[partition.label] == pytest.approx(
+                float(partition.scores(table1_function).mean())
+            )
+
+    def test_breakdown_single_partition(self, table1_dataset, table1_function):
+        breakdown = unfairness_breakdown(Partitioning.single(table1_dataset), table1_function)
+        assert breakdown.value == 0.0
+        assert breakdown.most_separated_pair is None
+        assert breakdown.most_favored == "ALL"
+
+    def test_as_dict_round_trip(self, gender_partitioning, table1_function):
+        breakdown = unfairness_breakdown(gender_partitioning, table1_function)
+        data = breakdown.as_dict()
+        assert data["unfairness"] == breakdown.value
+        assert data["most_favored"] == breakdown.most_favored
+        assert len(data["partitions"]) == 2

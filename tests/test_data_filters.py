@@ -1,0 +1,127 @@
+"""Tests for repro.data.filters."""
+
+import pytest
+
+from repro.data.dataset import Dataset, Individual
+from repro.data.filters import (
+    And,
+    Between,
+    Equals,
+    Not,
+    OneOf,
+    Or,
+    TrueFilter,
+    apply_filter,
+)
+from repro.data.schema import Schema, observed, protected
+from repro.errors import UnknownAttributeError
+
+
+@pytest.fixture
+def individual():
+    return Individual("w1", {"Gender": "F", "City": "NY", "Age": 29, "Rating": 0.8})
+
+
+@pytest.fixture
+def dataset():
+    schema = Schema((
+        protected("Gender", domain=("F", "M")),
+        protected("City", domain=("NY", "SF")),
+        protected("Age"),
+        observed("Rating"),
+    ))
+    rows = [
+        {"Gender": "F", "City": "NY", "Age": 29, "Rating": 0.8},
+        {"Gender": "M", "City": "NY", "Age": 41, "Rating": 0.5},
+        {"Gender": "F", "City": "SF", "Age": 35, "Rating": 0.6},
+        {"Gender": "M", "City": "SF", "Age": 23, "Rating": 0.3},
+    ]
+    return Dataset.from_records(schema, rows, name="filter-test")
+
+
+class TestAtomicFilters:
+    def test_true_filter_matches_everything(self, individual):
+        assert TrueFilter().matches(individual)
+        assert TrueFilter().describe() == "all individuals"
+
+    def test_equals(self, individual):
+        assert Equals("Gender", "F").matches(individual)
+        assert not Equals("Gender", "M").matches(individual)
+        assert "Gender" in Equals("Gender", "F").describe()
+
+    def test_equals_missing_attribute_does_not_match(self, individual):
+        assert not Equals("Missing", "F").matches(individual)
+        # Missing attribute should not even match None.
+        assert not Equals("Missing", None).matches(individual)
+
+    def test_one_of(self, individual):
+        assert OneOf("City", ["NY", "SF"]).matches(individual)
+        assert not OneOf("City", ["LA"]).matches(individual)
+
+    def test_between(self, individual):
+        assert Between("Age", 18, 30).matches(individual)
+        assert not Between("Age", 30, 40).matches(individual)
+        assert not Between("Gender", 0, 1).matches(individual)  # non-numeric value
+
+    def test_between_describe(self):
+        assert Between("Age", 18, 30).describe() == "18 <= Age <= 30"
+
+
+class TestCombinators:
+    def test_and(self, individual):
+        combined = Equals("Gender", "F") & Equals("City", "NY")
+        assert combined.matches(individual)
+        assert not (Equals("Gender", "F") & Equals("City", "SF")).matches(individual)
+
+    def test_or(self, individual):
+        combined = Equals("City", "LA") | Equals("Gender", "F")
+        assert combined.matches(individual)
+        assert not (Equals("City", "LA") | Equals("Gender", "M")).matches(individual)
+
+    def test_not(self, individual):
+        assert (~Equals("Gender", "M")).matches(individual)
+        assert not (~Equals("Gender", "F")).matches(individual)
+
+    def test_nested_describe_mentions_all_parts(self, individual):
+        combined = (Equals("Gender", "F") & Between("Age", 18, 30)) | Equals("City", "LA")
+        text = combined.describe()
+        assert "Gender" in text and "Age" in text and "City" in text
+
+    def test_empty_and_matches_everything(self, individual):
+        assert And(()).matches(individual)
+        assert And(()).describe() == "all individuals"
+
+    def test_empty_or_matches_nothing(self, individual):
+        assert not Or(()).matches(individual)
+
+    def test_combinator_equality(self):
+        a = Equals("Gender", "F") & Equals("City", "NY")
+        b = Equals("Gender", "F") & Equals("City", "NY")
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestApplyFilter:
+    def test_apply_filter_returns_matching_rows(self, dataset):
+        result = apply_filter(dataset, Equals("Gender", "F"))
+        assert len(result) == 2
+        assert all(ind["Gender"] == "F" for ind in result)
+
+    def test_apply_filter_records_description_in_name(self, dataset):
+        result = apply_filter(dataset, Equals("City", "NY"))
+        assert "City" in result.name
+
+    def test_apply_filter_unknown_attribute_raises(self, dataset):
+        with pytest.raises(UnknownAttributeError):
+            apply_filter(dataset, Equals("Nope", "x"))
+
+    def test_apply_filter_nested_unknown_attribute_raises(self, dataset):
+        with pytest.raises(UnknownAttributeError):
+            apply_filter(dataset, Equals("Gender", "F") & Equals("Ghost", 1))
+
+    def test_apply_filter_composed(self, dataset):
+        young_women = apply_filter(dataset, Equals("Gender", "F") & Between("Age", 18, 32))
+        assert young_women.uids == ("w1",)
+
+    def test_apply_true_filter_keeps_everything(self, dataset):
+        assert len(apply_filter(dataset, TrueFilter())) == len(dataset)

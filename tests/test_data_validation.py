@@ -1,0 +1,118 @@
+"""Tests for repro.data.validation."""
+
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.data.schema import Schema, observed, protected
+from repro.data.validation import profile_dataset, validate_dataset
+from repro.errors import DataError
+
+
+def _make(rows, schema=None):
+    schema = schema or Schema((
+        protected("Gender", domain=("F", "M")),
+        observed("Rating"),
+    ))
+    return Dataset.from_records(schema, rows, name="val-test")
+
+
+class TestValidateDataset:
+    def test_valid_dataset_passes(self):
+        ds = _make([
+            {"Gender": "F", "Rating": 0.5},
+            {"Gender": "M", "Rating": 0.7},
+        ])
+        report = validate_dataset(ds)
+        assert report.ok
+        assert not report.errors
+        report.raise_if_invalid()  # should not raise
+
+    def test_too_few_individuals(self):
+        ds = _make([{"Gender": "F", "Rating": 0.5}])
+        report = validate_dataset(ds, min_individuals=2)
+        assert not report.ok
+        assert any(issue.code == "too-few-individuals" for issue in report.errors)
+        with pytest.raises(DataError):
+            report.raise_if_invalid()
+
+    def test_no_protected_attributes(self):
+        schema = Schema((observed("Rating"),))
+        ds = Dataset.from_records(schema, [{"Rating": 0.5}, {"Rating": 0.6}])
+        report = validate_dataset(ds)
+        assert any(issue.code == "no-protected-attributes" for issue in report.errors)
+
+    def test_no_observed_attributes(self):
+        schema = Schema((protected("Gender", domain=("F", "M")),))
+        ds = Dataset.from_records(schema, [{"Gender": "F"}, {"Gender": "M"}])
+        report = validate_dataset(ds)
+        assert any(issue.code == "no-observed-attributes" for issue in report.errors)
+
+    def test_constant_protected_attribute_warns(self):
+        ds = _make([
+            {"Gender": "F", "Rating": 0.5},
+            {"Gender": "F", "Rating": 0.7},
+        ])
+        report = validate_dataset(ds)
+        assert report.ok  # warning, not error
+        assert any(issue.code == "constant-protected-attribute" for issue in report.warnings)
+
+    def test_small_groups_warn(self):
+        ds = _make([
+            {"Gender": "F", "Rating": 0.5},
+            {"Gender": "M", "Rating": 0.7},
+            {"Gender": "M", "Rating": 0.6},
+        ])
+        report = validate_dataset(ds, min_group_size=2)
+        assert any(issue.code == "small-protected-groups" for issue in report.warnings)
+
+    def test_scores_outside_unit_interval_warning_and_error(self):
+        ds = _make([
+            {"Gender": "F", "Rating": 1.5},
+            {"Gender": "M", "Rating": 0.7},
+        ])
+        relaxed = validate_dataset(ds)
+        assert relaxed.ok
+        assert any(i.code == "scores-outside-unit-interval" for i in relaxed.warnings)
+        strict = validate_dataset(ds, require_unit_interval_scores=True)
+        assert not strict.ok
+
+    def test_nan_scores_are_errors(self):
+        ds = _make([
+            {"Gender": "F", "Rating": float("nan")},
+            {"Gender": "M", "Rating": 0.7},
+        ])
+        report = validate_dataset(ds)
+        assert any(issue.code == "nan-scores" for issue in report.errors)
+
+    def test_constant_observed_attribute_warns(self):
+        ds = _make([
+            {"Gender": "F", "Rating": 0.5},
+            {"Gender": "M", "Rating": 0.5},
+        ])
+        report = validate_dataset(ds)
+        assert any(issue.code == "constant-observed-attribute" for issue in report.warnings)
+
+    def test_issue_str_mentions_code(self):
+        ds = _make([{"Gender": "F", "Rating": 0.5}])
+        report = validate_dataset(ds)
+        assert any("too-few-individuals" in str(issue) for issue in report.issues)
+
+
+class TestProfileDataset:
+    def test_profile_contents(self, table1_dataset):
+        profile = profile_dataset(table1_dataset)
+        assert profile["size"] == 10
+        assert profile["protected"]["Gender"] == {"Female": 4, "Male": 6}
+        rating_stats = profile["observed"]["Rating"]
+        assert 0.0 <= rating_stats["min"] <= rating_stats["mean"] <= rating_stats["max"] <= 1.0
+
+    def test_profile_empty_dataset(self):
+        schema = Schema((protected("Gender", domain=("F",)), observed("Rating")))
+        ds = Dataset(schema, [])
+        profile = profile_dataset(ds)
+        assert profile["size"] == 0
+        assert profile["observed"]["Rating"]["mean"] == 0.0
+
+    def test_synthetic_population_is_valid(self, small_population):
+        report = validate_dataset(small_population, min_group_size=2)
+        assert report.ok

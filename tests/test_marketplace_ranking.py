@@ -1,0 +1,107 @@
+"""Tests for repro.marketplace.ranking."""
+
+import pytest
+
+from repro.errors import MarketplaceError
+from repro.marketplace.ranking import (
+    exposure_by_group,
+    group_ranking_stats,
+    ranking_report,
+    top_k_share,
+)
+from repro.scoring.linear import LinearScoringFunction
+
+
+@pytest.fixture
+def ranking_and_dataset(table1_dataset, table1_function):
+    return table1_function.rank(table1_dataset), table1_dataset
+
+
+class TestExposure:
+    def test_exposure_shares_sum_to_one(self, ranking_and_dataset):
+        ranking, dataset = ranking_and_dataset
+        exposure = exposure_by_group(ranking, dataset, "Gender")
+        assert sum(exposure.values()) == pytest.approx(1.0)
+        assert set(exposure) == {"Female", "Male"}
+
+    def test_better_ranked_group_gets_more_exposure_per_member(self, ranking_and_dataset):
+        ranking, dataset = ranking_and_dataset
+        exposure = exposure_by_group(ranking, dataset, "Gender")
+        counts = dataset.value_counts("Gender")
+        per_member = {group: exposure[group] / counts[group] for group in exposure}
+        stats = group_ranking_stats(ranking, dataset, "Gender")
+        best_group = stats[0].group
+        worst_group = stats[-1].group
+        assert per_member[best_group] >= per_member[worst_group]
+
+
+class TestTopKShare:
+    def test_shares_sum_to_one(self, ranking_and_dataset):
+        ranking, dataset = ranking_and_dataset
+        shares = top_k_share(ranking, dataset, "Country", k=5)
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_all_groups_listed_even_if_absent_from_top(self, ranking_and_dataset):
+        ranking, dataset = ranking_and_dataset
+        shares = top_k_share(ranking, dataset, "Ethnicity", k=2)
+        assert set(shares) == {str(v) for v in dataset.distinct_values("Ethnicity")}
+
+    def test_k_larger_than_ranking_is_clamped(self, ranking_and_dataset):
+        ranking, dataset = ranking_and_dataset
+        shares = top_k_share(ranking, dataset, "Gender", k=100)
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_invalid_k(self, ranking_and_dataset):
+        ranking, dataset = ranking_and_dataset
+        with pytest.raises(MarketplaceError):
+            top_k_share(ranking, dataset, "Gender", k=0)
+
+
+class TestGroupStats:
+    def test_stats_cover_all_groups(self, ranking_and_dataset):
+        ranking, dataset = ranking_and_dataset
+        stats = group_ranking_stats(ranking, dataset, "Country")
+        assert {s.group for s in stats} == {"America", "India", "Other"}
+        assert sum(s.size for s in stats) == len(dataset)
+
+    def test_sorted_by_mean_position(self, ranking_and_dataset):
+        ranking, dataset = ranking_and_dataset
+        stats = group_ranking_stats(ranking, dataset, "Gender")
+        positions = [s.mean_position for s in stats]
+        assert positions == sorted(positions)
+
+    def test_best_position_is_at_least_one(self, ranking_and_dataset):
+        ranking, dataset = ranking_and_dataset
+        for stat in group_ranking_stats(ranking, dataset, "Ethnicity"):
+            assert stat.best_position >= 1
+            assert stat.mean_position >= stat.best_position
+
+    def test_mismatched_ranking_raises(self, table1_dataset, table1_function, crawled_marketplace):
+        # The crawled marketplace uses platform-prefixed ids, so a Table 1
+        # ranking cannot be joined with its worker population.
+        ranking = table1_function.rank(table1_dataset)
+        with pytest.raises(MarketplaceError):
+            group_ranking_stats(ranking, crawled_marketplace.workers, "Gender")
+
+    def test_as_dict(self, ranking_and_dataset):
+        ranking, dataset = ranking_and_dataset
+        entry = group_ranking_stats(ranking, dataset, "Gender")[0].as_dict()
+        assert {"group", "size", "mean_position", "exposure_share"} <= set(entry)
+
+
+class TestRankingReport:
+    def test_report_structure(self, crowdsourcing_marketplace_fixture):
+        report = ranking_report(
+            crowdsourcing_marketplace_fixture, "Content writing", "Gender"
+        )
+        assert report["job"] == "Content writing"
+        assert report["attribute"] == "Gender"
+        assert report["candidates"] > 0
+        assert report["groups"]
+        assert all("mean_position" in group for group in report["groups"])
+
+    def test_report_respects_candidate_filter(self, crowdsourcing_marketplace_fixture):
+        report = ranking_report(
+            crowdsourcing_marketplace_fixture, "English transcription", "Gender"
+        )
+        assert report["candidates"] < len(crowdsourcing_marketplace_fixture.workers)

@@ -1,0 +1,116 @@
+"""Tests for repro.metrics.distances."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FormulationError
+from repro.metrics.distances import (
+    EMDDistance,
+    JensenShannonDistance,
+    KolmogorovSmirnovDistance,
+    MeanGapDistance,
+    NormalizedEMDDistance,
+    TotalVariationDistance,
+    available_distances,
+    get_distance,
+)
+from repro.metrics.histogram import Binning, build_histogram
+
+BINNING = Binning.unit(5)
+
+
+def _h(scores):
+    return build_histogram(scores, binning=BINNING)
+
+
+ALL_DISTANCES = [
+    EMDDistance,
+    NormalizedEMDDistance,
+    TotalVariationDistance,
+    KolmogorovSmirnovDistance,
+    JensenShannonDistance,
+    MeanGapDistance,
+]
+
+
+class TestRegistry:
+    def test_available_names(self):
+        names = available_distances()
+        assert "emd" in names
+        assert "total_variation" in names
+        assert "mean_gap" in names
+
+    def test_get_distance_roundtrip(self):
+        for name in available_distances():
+            assert get_distance(name).name == name
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(FormulationError):
+            get_distance("no-such-distance")
+
+
+class TestDistanceProperties:
+    @pytest.mark.parametrize("distance", ALL_DISTANCES, ids=lambda d: d.name)
+    def test_identity(self, distance):
+        histogram = _h([0.1, 0.4, 0.4, 0.9])
+        assert distance(histogram, histogram) == pytest.approx(0.0, abs=1e-12)
+
+    @pytest.mark.parametrize("distance", ALL_DISTANCES, ids=lambda d: d.name)
+    def test_symmetry(self, distance):
+        first = _h([0.1, 0.2, 0.3])
+        second = _h([0.7, 0.8, 0.95])
+        assert distance(first, second) == pytest.approx(distance(second, first))
+
+    @pytest.mark.parametrize("distance", ALL_DISTANCES, ids=lambda d: d.name)
+    def test_non_negative(self, distance):
+        assert distance(_h([0.2]), _h([0.9])) >= 0.0
+
+    @pytest.mark.parametrize("distance", ALL_DISTANCES, ids=lambda d: d.name)
+    def test_binning_mismatch_rejected(self, distance):
+        with pytest.raises(FormulationError):
+            distance(build_histogram([0.5], bins=5), build_histogram([0.5], bins=7))
+
+    @pytest.mark.parametrize(
+        "distance",
+        [NormalizedEMDDistance, TotalVariationDistance, KolmogorovSmirnovDistance,
+         JensenShannonDistance, MeanGapDistance],
+        ids=lambda d: d.name,
+    )
+    def test_bounded_by_one(self, distance):
+        low = _h([0.0, 0.05])
+        high = _h([0.95, 1.0])
+        assert distance(low, high) <= 1.0 + 1e-9
+
+
+class TestSpecificValues:
+    def test_total_variation_of_disjoint_supports_is_one(self):
+        assert TotalVariationDistance(_h([0.0]), _h([1.0])) == pytest.approx(1.0)
+
+    def test_ks_distance_of_disjoint_supports_is_one(self):
+        assert KolmogorovSmirnovDistance(_h([0.0]), _h([1.0])) == pytest.approx(1.0)
+
+    def test_mean_gap_matches_difference_of_bin_centres(self):
+        low = _h([0.05])   # bin centre 0.1
+        high = _h([0.95])  # bin centre 0.9
+        assert MeanGapDistance(low, high) == pytest.approx(0.8)
+
+    def test_emd_sees_distance_that_tv_cannot(self):
+        # TV treats "adjacent bin" and "opposite bin" the same; EMD does not.
+        near = EMDDistance(_h([0.1]), _h([0.3]))
+        far = EMDDistance(_h([0.1]), _h([0.9]))
+        assert far > near
+        assert TotalVariationDistance(_h([0.1]), _h([0.3])) == pytest.approx(
+            TotalVariationDistance(_h([0.1]), _h([0.9]))
+        )
+
+    def test_jensen_shannon_is_finite_for_disjoint_supports(self):
+        value = JensenShannonDistance(_h([0.0]), _h([1.0]))
+        assert 0.0 < value <= 1.0
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=50),
+           st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=50))
+    @settings(max_examples=40, deadline=None)
+    def test_normalized_emd_always_in_unit_interval(self, first, second):
+        value = NormalizedEMDDistance(_h(first), _h(second))
+        assert 0.0 <= value <= 1.0 + 1e-9

@@ -1,0 +1,137 @@
+"""Tests for repro.metrics.histogram."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FormulationError
+from repro.metrics.histogram import DEFAULT_BINS, Binning, Histogram, build_histogram
+
+
+class TestBinning:
+    def test_unit_binning_edges(self):
+        binning = Binning.unit(5)
+        assert binning.bins == 5
+        assert binning.edges.tolist() == pytest.approx([0.0, 0.2, 0.4, 0.6, 0.8, 1.0])
+        assert binning.width == pytest.approx(0.2)
+
+    def test_centers(self):
+        binning = Binning.unit(4)
+        assert binning.centers.tolist() == pytest.approx([0.125, 0.375, 0.625, 0.875])
+
+    def test_invalid_bins(self):
+        with pytest.raises(FormulationError):
+            Binning(0.0, 1.0, bins=0)
+
+    def test_invalid_bounds(self):
+        with pytest.raises(FormulationError):
+            Binning(1.0, 0.0)
+        with pytest.raises(FormulationError):
+            Binning(float("nan"), 1.0)
+
+    def test_degenerate_range_still_produces_edges(self):
+        binning = Binning(0.5, 0.5, bins=3)
+        edges = binning.edges
+        assert len(edges) == 4
+        assert edges[0] < 0.5 < edges[-1]
+
+    def test_bin_index_clamps(self):
+        binning = Binning.unit(5)
+        assert binning.bin_index(-1.0) == 0
+        assert binning.bin_index(0.0) == 0
+        assert binning.bin_index(0.5) == 2
+        assert binning.bin_index(1.0) == 4
+        assert binning.bin_index(2.0) == 4
+
+    def test_for_scores(self):
+        binning = Binning.for_scores([0.2, 0.8, 0.5])
+        assert binning.low == pytest.approx(0.2)
+        assert binning.high == pytest.approx(0.8)
+
+    def test_for_scores_empty_falls_back_to_unit(self):
+        binning = Binning.for_scores([])
+        assert binning.low == 0.0 and binning.high == 1.0
+
+
+class TestHistogram:
+    def test_counts_validation(self):
+        binning = Binning.unit(3)
+        with pytest.raises(FormulationError):
+            Histogram(binning, (1, 2))  # wrong length
+        with pytest.raises(FormulationError):
+            Histogram(binning, (1, -1, 0))  # negative
+
+    def test_total_and_empty(self):
+        binning = Binning.unit(3)
+        assert Histogram(binning, (0, 0, 0)).is_empty
+        assert Histogram(binning, (1, 2, 3)).total == 6
+
+    def test_normalized_sums_to_one(self):
+        histogram = Histogram(Binning.unit(4), (1, 1, 2, 0))
+        assert histogram.normalized().sum() == pytest.approx(1.0)
+
+    def test_normalized_empty_is_uniform(self):
+        histogram = Histogram(Binning.unit(4), (0, 0, 0, 0))
+        assert histogram.normalized().tolist() == pytest.approx([0.25] * 4)
+
+    def test_normalized_is_cached_and_readonly(self):
+        histogram = Histogram(Binning.unit(4), (1, 2, 3, 4))
+        first = histogram.normalized()
+        second = histogram.normalized()
+        assert first is second
+        with pytest.raises(ValueError):
+            first[0] = 0.5
+
+    def test_mean_score_uses_bin_centers(self):
+        histogram = Histogram(Binning.unit(2), (1, 1))
+        assert histogram.mean_score() == pytest.approx(0.5)
+
+    def test_merge(self):
+        binning = Binning.unit(3)
+        merged = Histogram(binning, (1, 0, 2)).merge(Histogram(binning, (0, 1, 1)))
+        assert merged.counts == (1, 1, 3)
+
+    def test_merge_rejects_different_binning(self):
+        with pytest.raises(FormulationError):
+            Histogram(Binning.unit(3), (1, 0, 0)).merge(Histogram(Binning.unit(4), (1, 0, 0, 0)))
+
+    def test_describe(self):
+        assert Histogram(Binning.unit(3), (1, 2, 3)).describe() == "[1|2|3]"
+
+
+class TestBuildHistogram:
+    def test_default_unit_binning(self):
+        histogram = build_histogram([0.1, 0.1, 0.5, 0.95])
+        assert histogram.binning.bins == DEFAULT_BINS
+        assert histogram.total == 4
+        assert histogram.counts == (2, 0, 1, 0, 1)
+
+    def test_boundary_values_fall_in_last_bin(self):
+        histogram = build_histogram([1.0, 1.0], bins=5)
+        assert histogram.counts == (0, 0, 0, 0, 2)
+
+    def test_out_of_range_scores_are_clamped(self):
+        histogram = build_histogram([-0.5, 1.5], bins=4)
+        assert histogram.counts[0] == 1
+        assert histogram.counts[-1] == 1
+
+    def test_empty_scores(self):
+        histogram = build_histogram([])
+        assert histogram.is_empty
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1.0), max_size=200),
+           st.integers(min_value=1, max_value=32))
+    @settings(max_examples=60, deadline=None)
+    def test_total_always_matches_input_size(self, scores, bins):
+        histogram = build_histogram(scores, bins=bins)
+        assert histogram.total == len(scores)
+        assert len(histogram.counts) == bins
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=100))
+    @settings(max_examples=60, deadline=None)
+    def test_normalized_is_distribution(self, scores):
+        histogram = build_histogram(scores)
+        weights = histogram.normalized()
+        assert weights.sum() == pytest.approx(1.0)
+        assert (weights >= 0).all()

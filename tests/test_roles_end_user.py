@@ -1,0 +1,86 @@
+"""Tests for the END-USER role workflow."""
+
+import pytest
+
+from repro.errors import MarketplaceError
+from repro.roles.end_user import EndUser
+
+
+@pytest.fixture(scope="module")
+def end_user():
+    return EndUser({"Gender": "Female"})
+
+
+class TestAssessJob:
+    def test_outcome_fields(self, end_user, crowdsourcing_marketplace_fixture):
+        outcome = end_user.assess_job(crowdsourcing_marketplace_fixture, "Content writing")
+        assert outcome.marketplace == crowdsourcing_marketplace_fixture.name
+        assert outcome.job_title == "Content writing"
+        assert 0 < outcome.group_size < outcome.population_size
+        assert 0.0 <= outcome.mean_score <= 1.0
+        assert 1.0 <= outcome.mean_rank <= outcome.population_size
+        assert 0.0 <= outcome.exposure_share <= 1.0
+        assert outcome.emd_vs_rest >= 0.0
+
+    def test_score_gap_sign(self, end_user, crowdsourcing_marketplace_fixture):
+        outcome = end_user.assess_job(crowdsourcing_marketplace_fixture, "Content writing")
+        assert outcome.score_gap == pytest.approx(
+            outcome.mean_score - outcome.population_mean_score
+        )
+
+    def test_group_membership_validation(self, crowdsourcing_marketplace_fixture):
+        ghost_user = EndUser({"Gender": "Nonexistent"})
+        with pytest.raises(MarketplaceError):
+            ghost_user.assess_job(crowdsourcing_marketplace_fixture, "Content writing")
+
+    def test_unknown_attribute_rejected(self, crowdsourcing_marketplace_fixture):
+        user = EndUser({"FavouriteColour": "blue"})
+        with pytest.raises(Exception):
+            user.assess_job(crowdsourcing_marketplace_fixture, "Content writing")
+
+    def test_empty_group_spec_rejected(self):
+        with pytest.raises(MarketplaceError):
+            EndUser({})
+
+    def test_group_filter_and_label(self, end_user):
+        assert "Gender" in end_user.group_label()
+        assert end_user.group_filter.describe()
+
+    def test_penalised_group_is_flagged(self, crowdsourcing_marketplace_fixture):
+        # The fixture marketplace plants a penalty on Female African-American
+        # workers; the broader Female group intersects it, and the flag is
+        # computed from QUANTIFY's partitioning of the candidates.
+        user = EndUser({"Gender": "Female", "Ethnicity": "African-American"})
+        outcome = user.assess_job(crowdsourcing_marketplace_fixture, "Content writing")
+        assert outcome.score_gap < 0.0
+
+    def test_opaque_job_assessed_from_ranks(self, crawled_marketplace):
+        user = EndUser({"Gender": "Female"})
+        opaque_title = next(job.title for job in crawled_marketplace if not job.is_transparent)
+        outcome = user.assess_job(crawled_marketplace, opaque_title)
+        assert 0.0 <= outcome.mean_score <= 1.0
+
+
+class TestComparisons:
+    def test_compare_jobs_table(self, end_user, crowdsourcing_marketplace_fixture):
+        table = end_user.compare_jobs(crowdsourcing_marketplace_fixture)
+        assert len(table) == len(crowdsourcing_marketplace_fixture)
+        assert any("best option" in note for note in table.notes)
+        gaps = table.column("gap")
+        assert gaps == sorted(gaps, reverse=True)
+
+    def test_compare_jobs_subset(self, end_user, crowdsourcing_marketplace_fixture):
+        table = end_user.compare_jobs(
+            crowdsourcing_marketplace_fixture, job_titles=["Content writing", "Data labelling"]
+        )
+        assert len(table) == 2
+
+    def test_compare_marketplaces(self, end_user, crowdsourcing_marketplace_fixture):
+        table = end_user.compare_marketplaces(
+            [crowdsourcing_marketplace_fixture], "Content writing"
+        )
+        assert len(table) == 1
+
+    def test_compare_marketplaces_requires_offering(self, end_user, crowdsourcing_marketplace_fixture):
+        with pytest.raises(MarketplaceError):
+            end_user.compare_marketplaces([crowdsourcing_marketplace_fixture], "Unicorn grooming")

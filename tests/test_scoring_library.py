@@ -1,0 +1,87 @@
+"""Tests for repro.scoring.library."""
+
+import pytest
+
+from repro.errors import ScoringError
+from repro.scoring.base import Ranking
+from repro.scoring.library import ScoringLibrary, weight_sweep
+from repro.scoring.linear import LinearScoringFunction
+from repro.scoring.rank import RankDerivedScorer
+
+
+@pytest.fixture
+def library():
+    return ScoringLibrary([
+        LinearScoringFunction({"Skill": 0.7, "Rating": 0.3}, name="writing"),
+        LinearScoringFunction({"Skill": 0.2, "Rating": 0.8}, name="support"),
+    ])
+
+
+class TestScoringLibrary:
+    def test_register_and_get(self, library):
+        assert library.get("writing").name == "writing"
+        assert "support" in library
+        assert len(library) == 2
+        assert set(library.names) == {"writing", "support"}
+
+    def test_duplicate_registration_rejected(self, library):
+        with pytest.raises(ScoringError):
+            library.register(LinearScoringFunction({"Skill": 1.0}, name="writing"))
+
+    def test_replace_allows_overwrite(self, library):
+        replacement = LinearScoringFunction({"Rating": 1.0}, name="writing")
+        library.register(replacement, replace=True)
+        assert library.get("writing") is replacement
+
+    def test_unknown_name_raises_with_available_list(self, library):
+        with pytest.raises(ScoringError) as excinfo:
+            library.get("ghost")
+        assert "writing" in str(excinfo.value)
+
+    def test_iteration_and_describe(self, library):
+        assert len(list(library)) == 2
+        descriptions = library.describe()
+        assert any("writing" in text for text in descriptions)
+
+    def test_variants_of_registers_numbered_variants(self, library):
+        variants = library.variants_of("writing", [{"Skill": 1.0}, {"Rating": 1.0}])
+        assert [v.name for v in variants] == ["writing#1", "writing#2"]
+        assert "writing#1" in library
+
+    def test_variants_of_without_registering(self, library):
+        library.variants_of("writing", [{"Skill": 1.0}], register=False)
+        assert "writing#1" not in library
+
+    def test_variants_of_non_linear_function_rejected(self):
+        library = ScoringLibrary()
+        library.register(RankDerivedScorer(Ranking((("a", 1.0), ("b", 0.5))), name="ranks"))
+        with pytest.raises(ScoringError):
+            library.variants_of("ranks", [{"Skill": 1.0}])
+
+
+class TestWeightSweep:
+    def test_two_attribute_sweep_covers_extremes(self):
+        grid = weight_sweep(["A", "B"], steps=5)
+        as_tuples = {tuple(sorted(weights.items())) for weights in grid}
+        assert (("A", 0.0), ("B", 1.0)) in as_tuples
+        assert (("A", 1.0), ("B", 0.0)) in as_tuples
+
+    def test_sweep_points_sum_to_one(self):
+        for weights in weight_sweep(["A", "B", "C"], steps=4):
+            assert sum(weights.values()) == pytest.approx(1.0)
+
+    def test_sweep_has_no_duplicates(self):
+        grid = weight_sweep(["A", "B"], steps=5)
+        keys = [tuple(sorted((k, round(v, 9)) for k, v in weights.items())) for weights in grid]
+        assert len(keys) == len(set(keys))
+
+    def test_sweep_validates_inputs(self):
+        with pytest.raises(ScoringError):
+            weight_sweep(["A"], steps=5)
+        with pytest.raises(ScoringError):
+            weight_sweep(["A", "B"], steps=1)
+
+    def test_sweep_points_are_valid_scoring_functions(self):
+        for weights in weight_sweep(["Skill", "Rating"], steps=3):
+            if sum(weights.values()) > 0:
+                LinearScoringFunction(weights)  # should not raise

@@ -1,0 +1,181 @@
+"""Tests for repro.scoring.linear and repro.scoring.base."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.data.schema import Schema, observed, protected
+from repro.errors import ScoringError
+from repro.scoring.base import Ranking, rank_by_score
+from repro.scoring.linear import LinearScoringFunction
+
+
+@pytest.fixture
+def schema():
+    return Schema((
+        protected("Gender", domain=("F", "M")),
+        observed("Skill"),
+        observed("Rating"),
+    ))
+
+
+@pytest.fixture
+def dataset(schema):
+    rows = [
+        {"Gender": "F", "Skill": 0.9, "Rating": 0.8},
+        {"Gender": "M", "Skill": 0.4, "Rating": 0.9},
+        {"Gender": "F", "Skill": 0.6, "Rating": 0.2},
+        {"Gender": "M", "Skill": 0.1, "Rating": 0.1},
+    ]
+    return Dataset.from_records(schema, rows, name="scoring-test")
+
+
+class TestConstruction:
+    def test_weights_are_normalised_by_default(self):
+        function = LinearScoringFunction({"Skill": 2.0, "Rating": 2.0})
+        assert function.weights == {"Skill": 0.5, "Rating": 0.5}
+
+    def test_normalize_false_keeps_raw_weights(self):
+        function = LinearScoringFunction({"Skill": 2.0}, normalize=False)
+        assert function.weights == {"Skill": 2.0}
+
+    def test_rejects_empty_weights(self):
+        with pytest.raises(ScoringError):
+            LinearScoringFunction({})
+
+    def test_rejects_negative_weight(self):
+        with pytest.raises(ScoringError):
+            LinearScoringFunction({"Skill": -0.5})
+
+    def test_rejects_all_zero_weights(self):
+        with pytest.raises(ScoringError):
+            LinearScoringFunction({"Skill": 0.0})
+
+    def test_rejects_non_finite_weight(self):
+        with pytest.raises(ScoringError):
+            LinearScoringFunction({"Skill": float("nan")})
+
+    def test_uniform_and_single_constructors(self):
+        uniform = LinearScoringFunction.uniform(["Skill", "Rating"])
+        assert uniform.weights == {"Skill": 0.5, "Rating": 0.5}
+        single = LinearScoringFunction.single("Skill")
+        assert single.weights == {"Skill": 1.0}
+        assert single.name == "only-Skill"
+        with pytest.raises(ScoringError):
+            LinearScoringFunction.uniform([])
+
+
+class TestScoring:
+    def test_score_individual_matches_weighted_sum(self, dataset):
+        function = LinearScoringFunction({"Skill": 0.75, "Rating": 0.25})
+        expected = 0.75 * 0.9 + 0.25 * 0.8
+        assert function.score_individual(dataset[0]) == pytest.approx(expected)
+
+    def test_score_dataset_is_vectorised_and_consistent(self, dataset):
+        function = LinearScoringFunction({"Skill": 0.6, "Rating": 0.4})
+        vectorised = function.score_dataset(dataset)
+        rowwise = np.asarray([function.score_individual(ind) for ind in dataset])
+        assert np.allclose(vectorised, rowwise)
+
+    def test_scores_stay_in_unit_interval(self, dataset):
+        function = LinearScoringFunction({"Skill": 1.0, "Rating": 3.0})
+        scores = function.score_dataset(dataset)
+        assert (scores >= 0.0).all() and (scores <= 1.0).all()
+
+    def test_zero_weight_attribute_is_ignored(self, dataset):
+        function = LinearScoringFunction({"Skill": 1.0, "Rating": 0.0})
+        assert function.attributes == ("Skill",)
+        assert function.score_dataset(dataset).tolist() == pytest.approx(
+            dataset.numeric_column("Skill").tolist()
+        )
+
+    def test_score_map(self, dataset):
+        function = LinearScoringFunction({"Skill": 1.0})
+        mapping = function.score_map(dataset)
+        assert set(mapping) == set(dataset.uids)
+        assert mapping["w1"] == pytest.approx(0.9)
+
+    def test_non_numeric_value_raises(self, schema):
+        ds = Dataset.from_records(
+            schema, [{"Gender": "F", "Skill": 0.5, "Rating": 0.5}]
+        )
+        bad = ds[0].with_values(Skill="high")
+        function = LinearScoringFunction({"Skill": 1.0})
+        with pytest.raises(ScoringError):
+            function.score_individual(bad)
+
+    def test_validate_against_schema(self, schema):
+        LinearScoringFunction({"Skill": 1.0}).validate_against(schema)
+        with pytest.raises(ScoringError):
+            LinearScoringFunction({"Unknown": 1.0}).validate_against(schema)
+        with pytest.raises(ScoringError):
+            LinearScoringFunction({"Gender": 1.0}).validate_against(schema)
+
+    def test_describe_mentions_weights(self):
+        function = LinearScoringFunction({"Skill": 0.6, "Rating": 0.4}, name="job")
+        text = function.describe()
+        assert "job" in text and "Skill" in text and "Rating" in text
+
+
+class TestVariants:
+    def test_with_weights_creates_renormalised_variant(self):
+        base = LinearScoringFunction({"Skill": 0.5, "Rating": 0.5}, name="base")
+        variant = base.with_weights(Skill=3.0, Rating=1.0)
+        assert variant.weights["Skill"] == pytest.approx(0.75)
+        assert variant.name == "base-variant"
+        # The base function is untouched.
+        assert base.weights["Skill"] == pytest.approx(0.5)
+
+    def test_with_weights_custom_name(self):
+        base = LinearScoringFunction({"Skill": 1.0}, name="base")
+        variant = base.with_weights(name="v2", Skill=1.0, Rating=1.0)
+        assert variant.name == "v2"
+        assert set(variant.attributes) == {"Skill", "Rating"}
+
+
+class TestRanking:
+    def test_rank_orders_by_decreasing_score(self, dataset):
+        function = LinearScoringFunction({"Skill": 1.0})
+        ranking = function.rank(dataset)
+        assert ranking.uids == ("w1", "w3", "w2", "w4")
+        assert ranking.scores[0] >= ranking.scores[-1]
+
+    def test_rank_breaks_ties_by_uid(self, schema):
+        rows = [
+            {"Gender": "F", "Skill": 0.5, "Rating": 0.0},
+            {"Gender": "M", "Skill": 0.5, "Rating": 0.0},
+        ]
+        ds = Dataset.from_records(schema, rows)
+        ranking = LinearScoringFunction({"Skill": 1.0}).rank(ds)
+        assert ranking.uids == ("w1", "w2")
+
+    def test_position_and_score_of(self, dataset):
+        ranking = LinearScoringFunction({"Skill": 1.0}).rank(dataset)
+        assert ranking.position("w1") == 1
+        assert ranking.position("w4") == 4
+        assert ranking.score_of("w3") == pytest.approx(0.6)
+        with pytest.raises(ScoringError):
+            ranking.position("ghost")
+        with pytest.raises(ScoringError):
+            ranking.score_of("ghost")
+
+    def test_top_k(self, dataset):
+        ranking = LinearScoringFunction({"Skill": 1.0}).rank(dataset)
+        assert ranking.top(2) == ("w1", "w3")
+        assert ranking.top(100) == ranking.uids
+        with pytest.raises(ScoringError):
+            ranking.top(-1)
+
+    def test_duplicate_entries_rejected(self):
+        with pytest.raises(ScoringError):
+            Ranking((("w1", 0.5), ("w1", 0.4)))
+
+    def test_as_table(self, dataset):
+        ranking = LinearScoringFunction({"Skill": 1.0}).rank(dataset)
+        table = ranking.as_table()
+        assert table[0] == {"position": 1, "uid": "w1", "score": pytest.approx(0.9)}
+        assert len(table) == len(dataset)
+
+    def test_rank_by_score_matches_method(self, dataset):
+        function = LinearScoringFunction({"Rating": 1.0})
+        assert rank_by_score(dataset, function).uids == function.rank(dataset).uids

@@ -1,0 +1,65 @@
+"""Tests for repro.session.config."""
+
+import pytest
+
+from repro.core.formulations import Formulation, Objective
+from repro.data.filters import Equals, TrueFilter
+from repro.errors import SessionError
+from repro.session.config import SessionConfig
+
+
+class TestValidation:
+    def test_minimal_config(self):
+        config = SessionConfig("data", "func")
+        assert config.anonymity_k == 1
+        assert not config.use_ranks_only
+        assert isinstance(config.row_filter, TrueFilter)
+
+    def test_requires_dataset_and_function_names(self):
+        with pytest.raises(SessionError):
+            SessionConfig("", "func")
+        with pytest.raises(SessionError):
+            SessionConfig("data", "")
+
+    def test_invalid_k_and_min_size(self):
+        with pytest.raises(SessionError):
+            SessionConfig("data", "func", anonymity_k=0)
+        with pytest.raises(SessionError):
+            SessionConfig("data", "func", min_partition_size=0)
+
+    def test_attributes_normalised_to_tuple(self):
+        config = SessionConfig("data", "func", attributes=["Gender", "City"])
+        assert config.attributes == ("Gender", "City")
+
+
+class TestVariants:
+    def test_with_methods_return_new_instances(self):
+        base = SessionConfig("data", "func")
+        assert base.with_function("other").function_name == "other"
+        assert base.with_anonymity(5).anonymity_k == 5
+        assert base.with_ranks_only().use_ranks_only
+        assert base.with_attributes(("Gender",)).attributes == ("Gender",)
+        least = base.with_formulation(Formulation(objective=Objective.LEAST_UNFAIR))
+        assert least.formulation.objective is Objective.LEAST_UNFAIR
+        filtered = base.with_filter(Equals("Gender", "F"))
+        assert not isinstance(filtered.row_filter, TrueFilter)
+        # Base is untouched throughout.
+        assert base.function_name == "func"
+        assert base.anonymity_k == 1
+        assert not base.use_ranks_only
+
+    def test_describe_reflects_transparency_settings(self):
+        raw = SessionConfig("data", "func").describe()
+        assert "raw attributes" in raw
+        assert "scores visible" in raw
+        anonymised = SessionConfig("data", "func", anonymity_k=5, use_ranks_only=True).describe()
+        assert "5-anonymised" in anonymised
+        assert "ranks only" in anonymised
+
+    def test_describe_mentions_filter_and_attributes(self):
+        config = SessionConfig(
+            "data", "func", attributes=("Gender",), row_filter=Equals("City", "NY")
+        )
+        text = config.describe()
+        assert "Gender" in text
+        assert "City" in text

@@ -1,0 +1,158 @@
+"""Tests for the FaiRank session engine (headless interactive system)."""
+
+import pytest
+
+from repro.core.formulations import Formulation, Objective
+from repro.data.filters import Equals
+from repro.errors import SessionError
+from repro.scoring.linear import LinearScoringFunction
+from repro.session.config import SessionConfig
+from repro.session.engine import FaiRankEngine
+
+
+@pytest.fixture
+def engine(small_population):
+    engine = FaiRankEngine()
+    engine.register_dataset(small_population, name="workers")
+    engine.register_function(
+        LinearScoringFunction({"Language Test": 0.6, "Rating": 0.4}, name="writing")
+    )
+    engine.register_function(
+        LinearScoringFunction({"Language Test": 0.1, "Rating": 0.9}, name="support")
+    )
+    return engine
+
+
+CONFIG_KWARGS = {"attributes": ("Gender", "Country", "Language", "Ethnicity"),
+                 "min_partition_size": 2}
+
+
+class TestCatalogues:
+    def test_registration_and_lookup(self, engine, small_population):
+        assert "workers" in engine.dataset_names
+        assert set(engine.function_names) == {"writing", "support"}
+        assert engine.dataset("workers") is small_population
+        assert engine.function("writing").name == "writing"
+
+    def test_unknown_names_raise(self, engine):
+        with pytest.raises(SessionError):
+            engine.dataset("nope")
+        with pytest.raises(Exception):
+            engine.function("nope")
+
+    def test_register_marketplace(self, crowdsourcing_marketplace_fixture):
+        engine = FaiRankEngine()
+        dataset_name, function_names = engine.register_marketplace(
+            crowdsourcing_marketplace_fixture
+        )
+        assert dataset_name == crowdsourcing_marketplace_fixture.name
+        assert set(function_names) <= set(engine.function_names)
+
+
+class TestPanels:
+    def test_open_panel_produces_valid_result(self, engine, small_population):
+        panel = engine.open_panel(SessionConfig("workers", "writing", **CONFIG_KWARGS))
+        assert panel.panel_id == "P1"
+        assert sum(panel.result.partitioning.sizes) == len(small_population)
+        assert panel.unfairness >= 0.0
+        assert panel.partition_count >= 1
+
+    def test_panel_ids_increment_and_lookup(self, engine):
+        first = engine.open_panel(SessionConfig("workers", "writing", **CONFIG_KWARGS))
+        second = engine.open_panel(SessionConfig("workers", "support", **CONFIG_KWARGS))
+        assert (first.panel_id, second.panel_id) == ("P1", "P2")
+        assert engine.panel("P2") is second
+        assert engine.open_panels == ("P1", "P2")
+        with pytest.raises(SessionError):
+            engine.panel("P99")
+
+    def test_close_panel(self, engine):
+        panel = engine.open_panel(SessionConfig("workers", "writing", **CONFIG_KWARGS))
+        engine.close_panel(panel.panel_id)
+        assert panel.panel_id not in engine.open_panels
+
+    def test_filter_restricts_population(self, engine, small_population):
+        config = SessionConfig("workers", "writing",
+                               row_filter=Equals("Language", "English"), **CONFIG_KWARGS)
+        panel = engine.open_panel(config)
+        assert len(panel.population) < len(small_population)
+
+    def test_filter_matching_nothing_raises(self, engine):
+        config = SessionConfig("workers", "writing",
+                               row_filter=Equals("Language", "Klingon"), **CONFIG_KWARGS)
+        with pytest.raises(SessionError):
+            engine.open_panel(config)
+
+    def test_anonymised_panel_is_k_anonymous(self, engine):
+        from repro.anonymize.kanonymity import is_k_anonymous
+
+        config = SessionConfig("workers", "writing", anonymity_k=5, **CONFIG_KWARGS)
+        panel = engine.open_panel(config)
+        assert is_k_anonymous(
+            panel.population, panel.population.schema.protected_names, 5
+        )
+
+    def test_ranks_only_panel_uses_rank_derived_scorer(self, engine):
+        config = SessionConfig("workers", "writing", use_ranks_only=True, **CONFIG_KWARGS)
+        panel = engine.open_panel(config)
+        assert panel.effective_function.transparent is False
+        assert "from-ranks" in panel.effective_function.name
+
+    def test_formulation_change_changes_value(self, engine):
+        most = engine.open_panel(SessionConfig("workers", "writing", **CONFIG_KWARGS))
+        least = engine.open_panel(SessionConfig(
+            "workers", "writing",
+            formulation=Formulation(objective=Objective.LEAST_UNFAIR), **CONFIG_KWARGS
+        ))
+        assert least.unfairness <= most.unfairness + 1e-9
+
+    def test_general_and_node_boxes(self, engine):
+        panel = engine.open_panel(SessionConfig("workers", "writing", **CONFIG_KWARGS))
+        general = panel.general_box()
+        assert general["unfairness"] == pytest.approx(panel.unfairness)
+        assert general["partitions"] == panel.partition_count
+        label = panel.partition_labels()[0]
+        node = panel.node_box(label)
+        assert node["label"] == label
+        assert node["size"] > 0
+        assert len(node["histogram_counts"]) == panel.config.formulation.bins
+
+    def test_panel_render_contains_tree(self, engine):
+        panel = engine.open_panel(SessionConfig("workers", "writing", **CONFIG_KWARGS))
+        text = panel.render()
+        assert "Panel P" in text
+        assert "ALL" in text
+
+    def test_compare_panels(self, engine):
+        engine.open_panel(SessionConfig("workers", "writing", **CONFIG_KWARGS))
+        engine.open_panel(SessionConfig("workers", "support", **CONFIG_KWARGS))
+        table = engine.compare()
+        assert len(table) == 2
+        assert set(table.column("function")) == {"writing", "support"}
+
+    def test_compare_empty_raises(self):
+        engine = FaiRankEngine()
+        with pytest.raises(SessionError):
+            engine.compare()
+
+
+class TestRoleShortcuts:
+    def test_auditor_view(self, crowdsourcing_marketplace_fixture):
+        engine = FaiRankEngine()
+        report = engine.auditor_view(crowdsourcing_marketplace_fixture, min_partition_size=2)
+        assert len(report.audits) == len(crowdsourcing_marketplace_fixture)
+
+    def test_job_owner_view(self, crowdsourcing_marketplace_fixture):
+        engine = FaiRankEngine()
+        report = engine.job_owner_view(
+            crowdsourcing_marketplace_fixture, "Content writing",
+            sweep_steps=3, min_partition_size=2,
+        )
+        assert report.fairest is not None
+
+    def test_end_user_view(self, crowdsourcing_marketplace_fixture):
+        engine = FaiRankEngine()
+        table = engine.end_user_view(
+            {"Gender": "Female"}, [crowdsourcing_marketplace_fixture], "Content writing"
+        )
+        assert len(table) == 1

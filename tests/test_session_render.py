@@ -1,0 +1,88 @@
+"""Tests for repro.session.render and repro.session.stats."""
+
+import pytest
+
+from repro.core.partition import Partitioning, root_partition, split_partition
+from repro.core.quantify import quantify
+from repro.core.tree import PartitionNode, PartitionTree
+from repro.metrics.histogram import Binning, build_histogram
+from repro.session.render import render_histogram, render_partitioning, render_tree
+from repro.session.stats import node_stats, tree_stats
+
+
+@pytest.fixture
+def quantify_result(table1_dataset, table1_function):
+    return quantify(
+        table1_dataset, table1_function,
+        attributes=["Gender", "Language", "Country", "Ethnicity"],
+    )
+
+
+class TestRenderHistogram:
+    def test_one_line_per_bin_with_counts(self):
+        histogram = build_histogram([0.1, 0.1, 0.9], binning=Binning.unit(5))
+        text = render_histogram(histogram)
+        lines = text.splitlines()
+        assert len(lines) == 5
+        assert lines[0].endswith("2")
+        assert lines[-1].endswith("1")
+        assert "#" in lines[0]
+
+    def test_empty_histogram_has_no_bars(self):
+        histogram = build_histogram([], binning=Binning.unit(3))
+        text = render_histogram(histogram)
+        assert "#" not in text
+
+
+class TestRenderTree:
+    def test_contains_every_node_label(self, quantify_result, table1_function):
+        text = render_tree(quantify_result.tree, table1_function)
+        for node in quantify_result.tree.nodes():
+            # The label's last constraint must appear somewhere in the output.
+            assert node.label.split(", ")[-1] in text
+
+    def test_shows_split_attribute_and_histograms(self, quantify_result, table1_function):
+        text = render_tree(quantify_result.tree, table1_function)
+        assert "split on" in text
+        assert "[" in text and "|" in text  # histogram rendering
+
+    def test_without_function_omits_scores(self, quantify_result):
+        text = render_tree(quantify_result.tree, function=None)
+        assert "mean=" not in text
+
+    def test_figure2_tree_rendering(self, table1_dataset, table1_function):
+        root = PartitionNode(partition=root_partition(table1_dataset))
+        root.split_attribute = "Gender"
+        for child in split_partition(root.partition, "Gender"):
+            root.add_child(PartitionNode(partition=child))
+        tree = PartitionTree(root)
+        text = render_tree(tree, table1_function)
+        assert "Gender=Female" in text
+        assert "Gender=Male" in text
+        assert "`--" in text or "|--" in text
+
+
+class TestRenderPartitioning:
+    def test_one_line_per_partition(self, table1_dataset, table1_function):
+        partitioning = Partitioning.by_attributes(table1_dataset, ["Country"])
+        text = render_partitioning(partitioning, table1_function)
+        assert len(text.splitlines()) == len(partitioning)
+        assert "Country=India" in text
+
+
+class TestStats:
+    def test_node_stats(self, table1_dataset, table1_function):
+        partition = split_partition(root_partition(table1_dataset), "Gender")[0]
+        stats = node_stats(partition, table1_function)
+        assert stats["size"] == partition.size
+        assert stats["constraints"] == {"Gender": "Female"}
+        assert sum(stats["histogram_counts"]) == partition.size
+        assert len(stats["histogram_edges"]) == len(stats["histogram_counts"]) + 1
+        assert stats["score_min"] <= stats["score_mean"] <= stats["score_max"]
+
+    def test_tree_stats(self, quantify_result, table1_function):
+        stats = tree_stats(quantify_result.tree, table1_function)
+        assert stats["unfairness"] == pytest.approx(quantify_result.unfairness)
+        assert stats["partitions"] == len(quantify_result.partitioning)
+        assert stats["most_favored"] in quantify_result.partition_labels
+        assert stats["least_favored"] in quantify_result.partition_labels
