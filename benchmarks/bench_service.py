@@ -1,0 +1,188 @@
+"""Service layer — cold vs. warm vs. batched throughput.
+
+Measures what the new :mod:`repro.service` subsystem buys on the scalability
+workload (E11's synthetic populations):
+
+* **cold vs. warm** — an identical quantify request repeated against a warm
+  cache must be served at least 10x faster than the cold computation;
+* **batch = serial** — a 16-request mixed batch through the
+  :class:`~repro.service.BatchExecutor` must produce byte-identical results
+  to serial execution on a fresh service, in the same order.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List
+
+from repro.experiments.workloads import crowdsourcing_marketplace, synthetic_population
+from repro.scoring.linear import LinearScoringFunction
+from repro.service import (
+    AuditRequest,
+    BatchExecutor,
+    CompareRequest,
+    FairnessService,
+    QuantifyRequest,
+    ServiceRequest,
+)
+
+
+def build_service() -> FairnessService:
+    """A service over the scalability workload (fresh cache each call)."""
+    service = FairnessService()
+    service.register_dataset(synthetic_population(size=1_000, seed=7), name="synthetic-1000")
+    service.register_dataset(synthetic_population(size=300, seed=7), name="synthetic-300")
+    service.register_function(
+        LinearScoringFunction({"Language Test": 0.5, "Rating": 0.5}, name="balanced")
+    )
+    service.register_function(
+        LinearScoringFunction({"Language Test": 0.8, "Rating": 0.2}, name="language-heavy")
+    )
+    service.register_marketplace(crowdsourcing_marketplace(size=200, seed=7))
+    return service
+
+
+def mixed_batch() -> List[ServiceRequest]:
+    """A 16-request mixed workload (quantify / audit / compare, with dupes)."""
+    requests: List[ServiceRequest] = []
+    for function in ("balanced", "language-heavy"):
+        for dataset in ("synthetic-1000", "synthetic-300"):
+            requests.append(
+                QuantifyRequest(dataset=dataset, function=function, min_partition_size=5)
+            )
+    for aggregation in ("average", "maximum", "variance"):
+        requests.append(
+            QuantifyRequest(
+                dataset="synthetic-300",
+                function="balanced",
+                aggregation=aggregation,
+                min_partition_size=5,
+            )
+        )
+    requests.append(
+        QuantifyRequest(
+            dataset="synthetic-300",
+            function="balanced",
+            use_ranks_only=True,
+            min_partition_size=5,
+        )
+    )
+    requests.append(AuditRequest(marketplace="crowdsourcing-sim", min_partition_size=5))
+    requests.append(
+        AuditRequest(
+            marketplace="crowdsourcing-sim", job="Content writing", min_partition_size=5
+        )
+    )
+    requests.append(
+        QuantifyRequest(
+            dataset="synthetic-300",
+            function="balanced",
+            objective="least_unfair",
+            min_partition_size=5,
+        )
+    )
+    requests.append(
+        QuantifyRequest(
+            dataset="synthetic-300", function="language-heavy", bins=10, min_partition_size=5
+        )
+    )
+    requests.append(
+        CompareRequest(
+            dataset="synthetic-1000",
+            functions=("balanced", "language-heavy"),
+            min_partition_size=5,
+        )
+    )
+    requests.append(
+        CompareRequest(
+            dataset="synthetic-300",
+            functions=("balanced", "language-heavy"),
+            aggregation="maximum",
+            min_partition_size=5,
+        )
+    )
+    # Duplicates: the executor must deduplicate these in flight.
+    requests.append(
+        QuantifyRequest(dataset="synthetic-1000", function="balanced", min_partition_size=5)
+    )
+    requests.append(AuditRequest(marketplace="crowdsourcing-sim", min_partition_size=5))
+    assert len(requests) == 16
+    return requests
+
+
+def test_cold_vs_warm_cache(benchmark):
+    """A warm-cache repeat of an identical request is >= 10x faster than cold."""
+    service = build_service()
+    request = QuantifyRequest(
+        dataset="synthetic-1000", function="balanced", min_partition_size=5
+    )
+
+    started = time.perf_counter()
+    cold = service.execute(request)
+    cold_elapsed = time.perf_counter() - started
+
+    def warm_run():
+        return service.execute(
+            QuantifyRequest(
+                dataset="synthetic-1000", function="balanced", min_partition_size=5
+            )
+        )
+
+    warm = benchmark.pedantic(warm_run, rounds=5, iterations=1)
+    started = time.perf_counter()
+    warm = warm_run()
+    warm_elapsed = time.perf_counter() - started
+
+    print()
+    print(
+        f"cold: {cold_elapsed * 1000:.2f}ms  warm: {warm_elapsed * 1000:.3f}ms  "
+        f"speedup: {cold_elapsed / max(warm_elapsed, 1e-9):.0f}x"
+    )
+    print(f"cache: {service.cache_stats.describe()}")
+    assert not cold.cached and warm.cached
+    assert cold.canonical() == warm.canonical()
+    assert cold_elapsed >= 10 * warm_elapsed, (
+        f"warm cache should be >= 10x faster (cold {cold_elapsed:.4f}s, "
+        f"warm {warm_elapsed:.4f}s)"
+    )
+
+
+def test_batched_matches_serial(benchmark):
+    """A 16-request mixed batch is byte-identical to serial execution."""
+    serial_results = BatchExecutor(build_service()).run_serial(mixed_batch())
+
+    def batched_run():
+        # A fresh service per round so the batch always starts cold.
+        return BatchExecutor(build_service(), max_workers=8).run(mixed_batch())
+
+    batched_results = benchmark.pedantic(batched_run, rounds=1, iterations=1)
+
+    assert len(batched_results) == len(serial_results) == 16
+    serial_bytes = [result.canonical() for result in serial_results]
+    batched_bytes = [result.canonical() for result in batched_results]
+    assert batched_bytes == serial_bytes, "batched results differ from serial execution"
+    print()
+    print(f"16-request mixed batch: byte-identical to serial ({len(serial_bytes)} results)")
+
+
+def test_batched_throughput_vs_serial(benchmark):
+    """Report the wall-clock effect of the thread pool on one cold batch."""
+    started = time.perf_counter()
+    BatchExecutor(build_service()).run_serial(mixed_batch())
+    serial_elapsed = time.perf_counter() - started
+
+    def batched_run():
+        return BatchExecutor(build_service(), max_workers=8).run(mixed_batch())
+
+    benchmark.pedantic(batched_run, rounds=1, iterations=1)
+    started = time.perf_counter()
+    batched_run()
+    batched_elapsed = time.perf_counter() - started
+
+    print()
+    print(
+        f"serial: {serial_elapsed * 1000:.1f}ms  batched(x8): {batched_elapsed * 1000:.1f}ms  "
+        f"speedup: {serial_elapsed / max(batched_elapsed, 1e-9):.2f}x"
+    )
+    # The batch must never be pathologically slower than serial execution.
+    assert batched_elapsed < serial_elapsed * 2.0

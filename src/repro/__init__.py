@@ -15,6 +15,11 @@ re-exported here covers the most common entry points:
   :class:`~repro.roles.EndUser`
 * session: :class:`~repro.session.FaiRankEngine`,
   :class:`~repro.session.SessionConfig`
+* service: :class:`~repro.service.FairnessService`,
+  :class:`~repro.service.BatchExecutor`, the request types
+  (:class:`~repro.service.QuantifyRequest`, :class:`~repro.service.AuditRequest`,
+  :class:`~repro.service.CompareRequest`) and the result cache
+  (:class:`~repro.service.LRUCache`)
 
 See README.md for a quickstart and DESIGN.md for the system inventory.
 """
@@ -36,9 +41,20 @@ from repro.errors import FaiRankError
 from repro.marketplace import CrowdsourcingGenerator, Job, Marketplace, MarketplaceCrawler
 from repro.roles import Auditor, EndUser, JobOwner
 from repro.scoring import LinearScoringFunction, RankDerivedScorer, ScoringFunction
+from repro.service import (
+    AuditRequest,
+    BatchExecutor,
+    CacheStats,
+    CompareRequest,
+    FairnessService,
+    LRUCache,
+    QuantifyRequest,
+    ServiceResult,
+    request_from_json,
+)
 from repro.session import FaiRankEngine, SessionConfig
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -68,4 +84,13 @@ __all__ = [
     "EndUser",
     "FaiRankEngine",
     "SessionConfig",
+    "FairnessService",
+    "BatchExecutor",
+    "LRUCache",
+    "CacheStats",
+    "QuantifyRequest",
+    "AuditRequest",
+    "CompareRequest",
+    "ServiceResult",
+    "request_from_json",
 ]

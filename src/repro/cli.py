@@ -1,13 +1,16 @@
 """Command-line interface for the FaiRank reproduction.
 
-Four subcommands cover the common entry points without writing any Python:
+Five subcommands cover the common entry points without writing any Python:
 
 * ``fairank table1`` — print the paper's Table 1 example and its scores;
 * ``fairank quantify`` — run the QUANTIFY search on a CSV file (or the
   built-in example), under any formulation / transparency setting;
 * ``fairank audit`` — run the AUDITOR scenario on a simulated platform crawl;
 * ``fairank experiments`` — regenerate one or all of the E1–E12 experiment
-  tables recorded in EXPERIMENTS.md.
+  tables recorded in EXPERIMENTS.md;
+* ``fairank serve-batch`` — execute a JSON file of service requests through
+  the parallel batch executor and report per-request latency plus cache
+  statistics.
 
 The CLI is a thin veneer over the public API; everything it does can be done
 programmatically (see README.md).
@@ -16,6 +19,7 @@ programmatically (see README.md).
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional, Sequence
 
@@ -90,6 +94,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     experiments_parser.add_argument("ids", nargs="*",
                                     help="experiment ids to run (default: all), e.g. E1 E4")
+
+    # -- serve-batch -------------------------------------------------------------
+    serve_parser = subparsers.add_parser(
+        "serve-batch",
+        help="execute a JSON file of service requests through the batch executor",
+    )
+    serve_parser.add_argument(
+        "requests",
+        help="JSON file: a list of request objects, or {'requests': [...]} "
+             "(each object needs a 'kind': quantify, audit or compare)")
+    serve_parser.add_argument("--workers", type=int, default=None,
+                              help="thread-pool width (default: auto)")
+    serve_parser.add_argument("--serial", action="store_true",
+                              help="execute one request at a time instead of in parallel")
+    serve_parser.add_argument("--repeat", type=int, default=1,
+                              help="run the batch N times (later runs exercise the warm cache)")
+    serve_parser.add_argument("--market-size", type=int, default=200,
+                              help="size of the built-in crowdsourcing-sim marketplace")
+    serve_parser.add_argument("--synthetic", type=int, action="append", default=[],
+                              metavar="SIZE",
+                              help="also register a synthetic-SIZE dataset (repeatable)")
+    serve_parser.add_argument("--seed", type=int, default=7,
+                              help="seed for the built-in synthetic workloads")
 
     return parser
 
@@ -200,11 +227,73 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_batch_service(args: argparse.Namespace):
+    """The default catalogue a ``serve-batch`` run serves requests against."""
+    from repro.experiments.workloads import crowdsourcing_marketplace, synthetic_population
+    from repro.service import FairnessService
+
+    service = FairnessService()
+    service.register_dataset(load_example_table1(), name="table1")
+    service.register_function(LinearScoringFunction(TABLE1_WEIGHTS, name="table1-f"))
+    service.register_function(
+        LinearScoringFunction({"Language Test": 0.5, "Rating": 0.5}, name="balanced")
+    )
+    service.register_marketplace(
+        crowdsourcing_marketplace(size=args.market_size, seed=args.seed)
+    )
+    for size in dict.fromkeys(args.synthetic):
+        service.register_dataset(
+            synthetic_population(size=size, seed=args.seed), name=f"synthetic-{size}"
+        )
+    return service
+
+
+def _cmd_serve_batch(args: argparse.Namespace) -> int:
+    from repro.service import BatchExecutor, request_from_json
+
+    try:
+        with open(args.requests, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except OSError as error:
+        raise FaiRankError(f"cannot read requests file: {error}") from None
+    except json.JSONDecodeError as error:
+        raise FaiRankError(f"requests file is not valid JSON: {error}") from None
+    entries = document.get("requests") if isinstance(document, dict) else document
+    if not isinstance(entries, list) or not entries:
+        raise FaiRankError(
+            "requests file must contain a non-empty list of request objects "
+            "(either top-level or under a 'requests' key)"
+        )
+    if args.repeat < 1:
+        raise FaiRankError(f"--repeat must be >= 1, got {args.repeat}")
+    if args.workers is not None and args.workers < 1:
+        raise FaiRankError(f"--workers must be >= 1, got {args.workers}")
+    requests = [request_from_json(entry) for entry in entries]
+
+    service = _serve_batch_service(args)
+    executor = BatchExecutor(service, max_workers=args.workers)
+    for round_number in range(1, args.repeat + 1):
+        results = executor.run_serial(requests) if args.serial else executor.run(requests)
+        if args.repeat > 1:
+            print(f"-- round {round_number} --")
+        print(f"{'#':>3}  {'kind':<9} {'key':<12} {'cached':<6} {'latency':>10}")
+        for index, result in enumerate(results, start=1):
+            print(
+                f"{index:>3}  {result.kind:<9} {result.key[:12]:<12} "
+                f"{'hit' if result.cached else 'miss':<6} {result.elapsed_s * 1000:>8.2f}ms"
+            )
+    mode = "serial" if args.serial else f"parallel x{executor.max_workers}"
+    print(f"executed {len(requests)} request(s) per round, {args.repeat} round(s), {mode}")
+    print(f"cache: {service.cache_stats.describe()}")
+    return 0
+
+
 _COMMANDS = {
     "table1": _cmd_table1,
     "quantify": _cmd_quantify,
     "audit": _cmd_audit,
     "experiments": _cmd_experiments,
+    "serve-batch": _cmd_serve_batch,
 }
 
 

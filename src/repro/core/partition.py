@@ -156,6 +156,8 @@ class Partitioning:
     ) -> None:
         self.dataset = dataset
         self.partitions: Tuple[Partition, ...] = tuple(partitions)
+        self._by_label: Optional[Dict[str, Partition]] = None
+        self._by_uid: Optional[Dict[str, Partition]] = None
         if validate:
             self._validate()
 
@@ -206,19 +208,33 @@ class Partitioning:
         """Canonical hashable identity (sorted partition keys), for deduplication."""
         return tuple(sorted(partition.key for partition in self.partitions))
 
+    def _label_index(self) -> Dict[str, Partition]:
+        if self._by_label is None:
+            self._by_label = {partition.label: partition for partition in self.partitions}
+        return self._by_label
+
+    def _uid_index(self) -> Dict[str, Partition]:
+        if self._by_uid is None:
+            self._by_uid = {
+                uid: partition for partition in self.partitions for uid in partition.uids
+            }
+        return self._by_uid
+
     def find(self, label: str) -> Partition:
-        """Return the partition with the given label."""
-        for partition in self.partitions:
-            if partition.label == label:
-                return partition
-        raise PartitioningError(f"no partition labelled {label!r}")
+        """Return the partition with the given label (O(1) after the first call)."""
+        try:
+            return self._label_index()[label]
+        except KeyError:
+            raise PartitioningError(f"no partition labelled {label!r}") from None
 
     def partition_of(self, uid: str) -> Partition:
-        """Return the partition containing individual ``uid``."""
-        for partition in self.partitions:
-            if uid in partition.uids:
-                return partition
-        raise PartitioningError(f"individual {uid!r} is not covered by this partitioning")
+        """Return the partition containing individual ``uid`` (O(1) after the first call)."""
+        try:
+            return self._uid_index()[uid]
+        except KeyError:
+            raise PartitioningError(
+                f"individual {uid!r} is not covered by this partitioning"
+            ) from None
 
     def histograms(
         self, function: ScoringFunction, binning: Optional[Binning] = None

@@ -179,13 +179,16 @@ def unfairness_breakdown(
     histograms = partitioning.histograms(function, binning=binning)
     labels = partitioning.labels
 
-    pairwise: Dict[Tuple[str, str], float] = {}
-    values: List[float] = []
-    for i in range(len(histograms)):
-        for j in range(i + 1, len(histograms)):
-            value = formulation.distance(histograms[i], histograms[j])
-            pairwise[(labels[i], labels[j])] = value
-            values.append(value)
+    # pairwise_distances yields values in (i < j) order, matching
+    # itertools-style combinations over the labels, so the vectorised EMD
+    # fast path can be reused instead of the per-pair distance calls.
+    values = pairwise_distances(histograms, formulation)
+    label_pairs = [
+        (labels[i], labels[j])
+        for i in range(len(labels))
+        for j in range(i + 1, len(labels))
+    ]
+    pairwise: Dict[Tuple[str, str], float] = dict(zip(label_pairs, values))
 
     most_separated = max(pairwise, key=lambda k: pairwise[k]) if pairwise else None
     least_separated = min(pairwise, key=lambda k: pairwise[k]) if pairwise else None

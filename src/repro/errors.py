@@ -62,3 +62,7 @@ class SessionError(FaiRankError):
 
 class ExperimentError(FaiRankError):
     """An experiment/benchmark harness was misconfigured."""
+
+
+class ServiceError(FaiRankError):
+    """A fairness-service request was invalid or referenced unknown entities."""

@@ -63,6 +63,17 @@ class ScoringFunction:
         """Human-readable description of the function (overridable)."""
         return self.name
 
+    def fingerprint(self) -> str:
+        """Stable content hash identifying this function for result caching.
+
+        Subclasses with a structured representation (weights, rankings)
+        override this so that semantically identical functions share cache
+        entries.  The base implementation raises ``NotImplementedError``; the
+        service layer falls back to a pickle hash in that case (see
+        :func:`repro.service.fingerprint.fingerprint_function`).
+        """
+        raise NotImplementedError
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} {self.describe()}>"
 

@@ -97,6 +97,22 @@ class LinearScoringFunction(ScoringFunction):
         """Attributes with a non-zero weight, in insertion order."""
         return tuple(attr for attr, weight in self.weights.items() if weight != 0.0)
 
+    def fingerprint(self) -> str:
+        """Content hash over the (normalised) weights.
+
+        The display name is deliberately excluded: two jobs scoring with
+        identical weights under different names produce identical results,
+        so they should share service-cache entries.
+        """
+        import hashlib
+
+        digest = hashlib.sha256()
+        digest.update(b"linear\x00")
+        for attribute in sorted(self.weights):
+            digest.update(attribute.encode("utf-8") + b"=")
+            digest.update(float(self.weights[attribute]).hex().encode("ascii") + b"\x00")
+        return digest.hexdigest()
+
     def describe(self) -> str:
         terms = " + ".join(
             f"{weight:.3g}*{attribute}" for attribute, weight in self.weights.items() if weight

@@ -84,6 +84,21 @@ class RankDerivedScorer(ScoringFunction):
     def describe(self) -> str:
         return f"{self.name}: scores derived from ranking positions ({self.weighting})"
 
+    def fingerprint(self) -> str:
+        """Content hash over the observed ranking order and the weighting.
+
+        The display name is excluded (like all function fingerprints): the
+        derived scores depend only on positions and the weighting scheme.
+        """
+        import hashlib
+
+        digest = hashlib.sha256()
+        digest.update(b"rank-derived\x00")
+        digest.update(self.weighting.encode("ascii") + b"\x00")
+        for uid in self.ranking.uids:
+            digest.update(uid.encode("utf-8") + b"\x00")
+        return digest.hexdigest()
+
 
 class OpaqueScoringFunction(ScoringFunction):
     """Wrap a true scoring function but only expose the ranking it induces.
@@ -123,3 +138,18 @@ class OpaqueScoringFunction(ScoringFunction):
 
     def describe(self) -> str:
         return f"{self.name}: opaque scoring function (only its ranking is observable)"
+
+    def fingerprint(self) -> str:
+        """Content hash derived from the hidden function's fingerprint.
+
+        Raises ``NotImplementedError`` when the hidden function has no
+        structured fingerprint, letting callers fall back to a pickle hash of
+        the whole wrapper.
+        """
+        import hashlib
+
+        inner = self.hidden.fingerprint()
+        digest = hashlib.sha256()
+        digest.update(b"opaque\x00")
+        digest.update(inner.encode("ascii"))
+        return digest.hexdigest()

@@ -1,0 +1,47 @@
+"""Service layer: fingerprint-keyed caching and parallel batch execution.
+
+This package turns the FaiRank library into a servable engine (the thin
+data-management-application pattern: a service facade over analysis
+kernels).  See :mod:`repro.service.service` for the facade,
+:mod:`repro.service.jobs` for the wire protocol, and
+:mod:`repro.service.executor` for the parallel batch executor.
+"""
+
+from repro.service.cache import CacheStats, LRUCache
+from repro.service.executor import BatchExecutor, default_max_workers
+from repro.service.fingerprint import (
+    combine_fingerprints,
+    fingerprint_dataset,
+    fingerprint_formulation,
+    fingerprint_function,
+    fingerprint_value,
+)
+from repro.service.jobs import (
+    AuditRequest,
+    CompareRequest,
+    QuantifyRequest,
+    ServiceRequest,
+    ServiceResult,
+    request_from_json,
+)
+from repro.service.service import CachedQuantify, FairnessService
+
+__all__ = [
+    "AuditRequest",
+    "BatchExecutor",
+    "CacheStats",
+    "CachedQuantify",
+    "CompareRequest",
+    "FairnessService",
+    "LRUCache",
+    "QuantifyRequest",
+    "ServiceRequest",
+    "ServiceResult",
+    "combine_fingerprints",
+    "default_max_workers",
+    "fingerprint_dataset",
+    "fingerprint_formulation",
+    "fingerprint_function",
+    "fingerprint_value",
+    "request_from_json",
+]

@@ -1,0 +1,290 @@
+"""Typed request/response objects — the wire protocol of the service.
+
+A request references datasets, scoring functions and marketplaces *by the
+name they are registered under* in a :class:`~repro.service.service.FairnessService`,
+so every request is a small, JSON-serialisable value object.  ``to_json`` /
+``from_json`` round-trip losslessly (``from_json(to_json(r)) == r``), which
+is what lets a batch of requests live in a file, a queue or an HTTP body.
+
+Three request kinds cover the interactive workloads of the paper:
+
+* :class:`QuantifyRequest` — one QUANTIFY search (Algorithm 1) plus its
+  unfairness breakdown; the bread-and-butter panel computation.
+* :class:`AuditRequest` — the AUDITOR scenario over a whole marketplace (or
+  one of its jobs).
+* :class:`CompareRequest` — one dataset, several scoring functions: the
+  "compare panels" loop a job owner drives.
+
+:class:`ServiceResult` is the uniform response envelope: the request kind,
+the cache key it resolved to, a plain-JSON payload, and serving metadata
+(cache hit flag, elapsed seconds).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, ClassVar, Dict, Mapping, Optional, Sequence, Tuple, Type, Union
+
+from repro.core.formulations import Formulation
+from repro.errors import ServiceError
+from repro.metrics.histogram import DEFAULT_BINS
+
+__all__ = [
+    "QuantifyRequest",
+    "AuditRequest",
+    "CompareRequest",
+    "ServiceRequest",
+    "ServiceResult",
+    "request_from_json",
+]
+
+
+def _optional_str_tuple(value: Optional[Sequence[str]]) -> Optional[Tuple[str, ...]]:
+    if value is None:
+        return None
+    return tuple(str(item) for item in value)
+
+
+@dataclass(frozen=True)
+class _FormulationMixin:
+    """Shared formulation fields (kept as plain strings for the wire)."""
+
+    objective: str = "most_unfair"
+    aggregation: str = "average"
+    distance: str = "emd"
+    bins: int = DEFAULT_BINS
+
+    def formulation(self) -> Formulation:
+        """Materialise the formulation (validates the string fields)."""
+        return Formulation.from_names(
+            objective=self.objective,
+            aggregation=self.aggregation,
+            distance=self.distance,
+            bins=self.bins,
+        )
+
+    def _formulation_json(self) -> Dict[str, object]:
+        return {
+            "objective": self.objective,
+            "aggregation": self.aggregation,
+            "distance": self.distance,
+            "bins": self.bins,
+        }
+
+
+@dataclass(frozen=True)
+class QuantifyRequest(_FormulationMixin):
+    """Run the QUANTIFY search for one (dataset, function) configuration."""
+
+    kind: ClassVar[str] = "quantify"
+
+    dataset: str = ""
+    function: str = ""
+    attributes: Optional[Tuple[str, ...]] = None
+    max_depth: Optional[int] = None
+    min_partition_size: int = 1
+    use_ranks_only: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.dataset:
+            raise ServiceError("a quantify request needs a dataset name")
+        if not self.function:
+            raise ServiceError("a quantify request needs a scoring-function name")
+        object.__setattr__(self, "attributes", _optional_str_tuple(self.attributes))
+
+    def to_json(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {"kind": self.kind, "dataset": self.dataset,
+                                      "function": self.function}
+        payload.update(self._formulation_json())
+        payload.update(
+            {
+                "attributes": list(self.attributes) if self.attributes is not None else None,
+                "max_depth": self.max_depth,
+                "min_partition_size": self.min_partition_size,
+                "use_ranks_only": self.use_ranks_only,
+            }
+        )
+        return payload
+
+    @classmethod
+    def from_json(cls, payload: Mapping[str, object]) -> "QuantifyRequest":
+        return cls(
+            dataset=str(payload["dataset"]),
+            function=str(payload["function"]),
+            objective=str(payload.get("objective", "most_unfair")),
+            aggregation=str(payload.get("aggregation", "average")),
+            distance=str(payload.get("distance", "emd")),
+            bins=int(payload.get("bins", DEFAULT_BINS)),  # type: ignore[arg-type]
+            attributes=_optional_str_tuple(payload.get("attributes")),  # type: ignore[arg-type]
+            max_depth=None if payload.get("max_depth") is None else int(payload["max_depth"]),  # type: ignore[arg-type]
+            min_partition_size=int(payload.get("min_partition_size", 1)),  # type: ignore[arg-type]
+            use_ranks_only=bool(payload.get("use_ranks_only", False)),
+        )
+
+
+@dataclass(frozen=True)
+class AuditRequest(_FormulationMixin):
+    """Audit a whole marketplace (or one of its jobs): the AUDITOR scenario."""
+
+    kind: ClassVar[str] = "audit"
+
+    marketplace: str = ""
+    job: Optional[str] = None
+    attributes: Optional[Tuple[str, ...]] = None
+    min_partition_size: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.marketplace:
+            raise ServiceError("an audit request needs a marketplace name")
+        object.__setattr__(self, "attributes", _optional_str_tuple(self.attributes))
+
+    def to_json(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {"kind": self.kind, "marketplace": self.marketplace,
+                                      "job": self.job}
+        payload.update(self._formulation_json())
+        payload.update(
+            {
+                "attributes": list(self.attributes) if self.attributes is not None else None,
+                "min_partition_size": self.min_partition_size,
+            }
+        )
+        return payload
+
+    @classmethod
+    def from_json(cls, payload: Mapping[str, object]) -> "AuditRequest":
+        return cls(
+            marketplace=str(payload["marketplace"]),
+            job=None if payload.get("job") is None else str(payload["job"]),
+            objective=str(payload.get("objective", "most_unfair")),
+            aggregation=str(payload.get("aggregation", "average")),
+            distance=str(payload.get("distance", "emd")),
+            bins=int(payload.get("bins", DEFAULT_BINS)),  # type: ignore[arg-type]
+            attributes=_optional_str_tuple(payload.get("attributes")),  # type: ignore[arg-type]
+            min_partition_size=int(payload.get("min_partition_size", 1)),  # type: ignore[arg-type]
+        )
+
+
+@dataclass(frozen=True)
+class CompareRequest(_FormulationMixin):
+    """Quantify several scoring functions over one dataset and rank them."""
+
+    kind: ClassVar[str] = "compare"
+
+    dataset: str = ""
+    functions: Tuple[str, ...] = ()
+    attributes: Optional[Tuple[str, ...]] = None
+    max_depth: Optional[int] = None
+    min_partition_size: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.dataset:
+            raise ServiceError("a compare request needs a dataset name")
+        object.__setattr__(self, "functions", tuple(str(f) for f in self.functions))
+        if len(self.functions) < 1:
+            raise ServiceError("a compare request needs at least one scoring function")
+        object.__setattr__(self, "attributes", _optional_str_tuple(self.attributes))
+
+    def to_json(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {"kind": self.kind, "dataset": self.dataset,
+                                      "functions": list(self.functions)}
+        payload.update(self._formulation_json())
+        payload.update(
+            {
+                "attributes": list(self.attributes) if self.attributes is not None else None,
+                "max_depth": self.max_depth,
+                "min_partition_size": self.min_partition_size,
+            }
+        )
+        return payload
+
+    @classmethod
+    def from_json(cls, payload: Mapping[str, object]) -> "CompareRequest":
+        return cls(
+            dataset=str(payload["dataset"]),
+            functions=tuple(str(f) for f in payload.get("functions", ())),  # type: ignore[union-attr]
+            objective=str(payload.get("objective", "most_unfair")),
+            aggregation=str(payload.get("aggregation", "average")),
+            distance=str(payload.get("distance", "emd")),
+            bins=int(payload.get("bins", DEFAULT_BINS)),  # type: ignore[arg-type]
+            attributes=_optional_str_tuple(payload.get("attributes")),  # type: ignore[arg-type]
+            max_depth=None if payload.get("max_depth") is None else int(payload["max_depth"]),  # type: ignore[arg-type]
+            min_partition_size=int(payload.get("min_partition_size", 1)),  # type: ignore[arg-type]
+        )
+
+
+ServiceRequest = Union[QuantifyRequest, AuditRequest, CompareRequest]
+
+_REQUEST_KINDS: Dict[str, Type[ServiceRequest]] = {
+    QuantifyRequest.kind: QuantifyRequest,
+    AuditRequest.kind: AuditRequest,
+    CompareRequest.kind: CompareRequest,
+}
+
+
+def request_from_json(payload: Mapping[str, object]) -> ServiceRequest:
+    """Rebuild any request from its ``to_json`` form (dispatch on ``kind``)."""
+    try:
+        kind = payload["kind"]
+    except (KeyError, TypeError):
+        raise ServiceError(
+            "a request payload needs a 'kind' field "
+            f"(one of {', '.join(sorted(_REQUEST_KINDS))})"
+        ) from None
+    try:
+        request_type = _REQUEST_KINDS[str(kind)]
+    except KeyError:
+        raise ServiceError(
+            f"unknown request kind {kind!r}; known kinds: "
+            f"{', '.join(sorted(_REQUEST_KINDS))}"
+        ) from None
+    try:
+        return request_type.from_json(payload)
+    except KeyError as missing:
+        raise ServiceError(
+            f"{kind} request payload is missing required field {missing.args[0]!r}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class ServiceResult:
+    """Uniform response envelope for every request kind.
+
+    ``payload`` is a plain-JSON tree (only dicts/lists/strings/numbers/bools/
+    None), so a result can be shipped over any transport.  ``canonical()``
+    serialises the semantic content — kind, key and payload, but *not* the
+    serving metadata — with sorted keys, so two results are byte-comparable
+    regardless of whether they were computed, cached, or ran in a batch.
+    """
+
+    kind: str
+    key: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+    cached: bool = False
+    elapsed_s: float = 0.0
+
+    def canonical(self) -> str:
+        """Deterministic JSON of the semantic content (excludes metadata)."""
+        return json.dumps(
+            {"kind": self.kind, "key": self.key, "payload": self.payload},
+            sort_keys=True,
+        )
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "key": self.key,
+            "payload": self.payload,
+            "cached": self.cached,
+            "elapsed_s": self.elapsed_s,
+        }
+
+    @classmethod
+    def from_json(cls, payload: Mapping[str, object]) -> "ServiceResult":
+        return cls(
+            kind=str(payload["kind"]),
+            key=str(payload["key"]),
+            payload=dict(payload.get("payload", {})),  # type: ignore[arg-type]
+            cached=bool(payload.get("cached", False)),
+            elapsed_s=float(payload.get("elapsed_s", 0.0)),  # type: ignore[arg-type]
+        )

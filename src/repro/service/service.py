@@ -1,0 +1,602 @@
+"""The :class:`FairnessService` facade: registry + cache + request execution.
+
+FaiRank is interactive: users re-run the partitioning search over the same
+population while varying the scoring function and the formulation, and
+auditors fan the same analysis out across jobs and platforms.  The service
+layer turns the library's pure functions into a servable engine:
+
+* a **registry** of named datasets, scoring functions and marketplaces (the
+  catalogue a deployment exposes to clients);
+* a **fingerprint-keyed result cache** so semantically identical requests
+  are computed once (:mod:`repro.service.fingerprint`,
+  :mod:`repro.service.cache`);
+* **request execution** for the typed wire protocol of
+  :mod:`repro.service.jobs`, returning JSON-ready
+  :class:`~repro.service.jobs.ServiceResult` envelopes;
+* cached wrappers around the role workflows (``Auditor``, ``JobOwner``,
+  ``EndUser``) and the core kernels (``quantify``, ``exhaustive_search``,
+  ``unfairness_breakdown``) for programmatic callers such as
+  :class:`~repro.session.engine.FaiRankEngine`.
+"""
+
+from __future__ import annotations
+
+import copy
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.core.exhaustive import ExhaustiveResult, exhaustive_search
+from repro.core.formulations import Formulation, MOST_UNFAIR_AVG_EMD
+from repro.core.quantify import QuantifyResult, quantify
+from repro.core.unfairness import UnfairnessBreakdown, unfairness_breakdown
+from repro.data.dataset import Dataset
+from repro.errors import ServiceError
+from repro.marketplace.entities import Marketplace
+from repro.roles.auditor import AuditReport, Auditor
+from repro.roles.end_user import EndUser
+from repro.roles.job_owner import JobOwner, JobOwnerReport
+from repro.roles.report import ReportTable
+from repro.scoring.base import ScoringFunction
+from repro.scoring.library import ScoringLibrary
+from repro.scoring.rank import OpaqueScoringFunction, RankDerivedScorer
+from repro.service.cache import CacheStats, LRUCache
+from repro.service.fingerprint import (
+    combine_fingerprints,
+    fingerprint_dataset,
+    fingerprint_formulation,
+    fingerprint_function,
+    fingerprint_value,
+)
+from repro.service.jobs import (
+    AuditRequest,
+    CompareRequest,
+    QuantifyRequest,
+    ServiceRequest,
+    ServiceResult,
+)
+
+__all__ = ["CachedQuantify", "FairnessService"]
+
+
+@dataclass(frozen=True)
+class CachedQuantify:
+    """A QUANTIFY search plus its breakdown, as served from the cache."""
+
+    result: QuantifyResult
+    breakdown: UnfairnessBreakdown
+    key: str
+    cached: bool
+
+
+class FairnessService:
+    """Servable fairness engine: named catalogues, memoisation, requests.
+
+    Parameters
+    ----------
+    cache_size:
+        Maximum number of memoised results (ignored when ``cache`` is given).
+    max_cost:
+        Optional total-cost bound for the cache; the cost of a quantify
+        result is the number of candidate splits its search evaluated.
+    cache:
+        An externally owned :class:`~repro.service.cache.LRUCache`, e.g. to
+        share one cache between several services or sessions.
+    """
+
+    def __init__(
+        self,
+        cache_size: int = 256,
+        max_cost: Optional[float] = None,
+        cache: Optional[LRUCache] = None,
+    ) -> None:
+        self._datasets: Dict[str, Dataset] = {}
+        self._functions = ScoringLibrary()
+        self._marketplaces: Dict[str, Marketplace] = {}
+        self.cache = cache if cache is not None else LRUCache(cache_size, max_cost=max_cost)
+
+    # -- registry -------------------------------------------------------------
+
+    def register_dataset(self, dataset: Dataset, name: Optional[str] = None) -> str:
+        """Add a dataset to the catalogue; returns its registered name."""
+        key = name or dataset.name
+        if not key:
+            raise ServiceError("a dataset needs a non-empty name to be registered")
+        self._datasets[key] = dataset
+        return key
+
+    def register_function(self, function: ScoringFunction, replace: bool = True) -> str:
+        """Add a scoring function to the catalogue; returns its name."""
+        self._functions.register(function, replace=replace)
+        return function.name
+
+    def register_marketplace(self, marketplace: Marketplace) -> str:
+        """Register a marketplace plus its workers dataset and job functions."""
+        if not marketplace.name:
+            raise ServiceError("a marketplace needs a non-empty name to be registered")
+        self._marketplaces[marketplace.name] = marketplace
+        self.register_dataset(marketplace.workers, name=marketplace.name)
+        for job in marketplace:
+            self.register_function(job.function, replace=True)
+        return marketplace.name
+
+    @property
+    def dataset_names(self) -> Tuple[str, ...]:
+        return tuple(self._datasets)
+
+    @property
+    def function_names(self) -> Tuple[str, ...]:
+        return self._functions.names
+
+    @property
+    def marketplace_names(self) -> Tuple[str, ...]:
+        return tuple(self._marketplaces)
+
+    def dataset(self, name: str) -> Dataset:
+        try:
+            return self._datasets[name]
+        except KeyError:
+            raise ServiceError(
+                f"unknown dataset {name!r}; registered: "
+                f"{', '.join(sorted(self._datasets)) or '(none)'}"
+            ) from None
+
+    def function(self, name: str) -> ScoringFunction:
+        if name not in self._functions:
+            raise ServiceError(
+                f"unknown scoring function {name!r}; registered: "
+                f"{', '.join(sorted(self._functions.names)) or '(none)'}"
+            )
+        return self._functions.get(name)
+
+    def marketplace(self, name: str) -> Marketplace:
+        try:
+            return self._marketplaces[name]
+        except KeyError:
+            raise ServiceError(
+                f"unknown marketplace {name!r}; registered: "
+                f"{', '.join(sorted(self._marketplaces)) or '(none)'}"
+            ) from None
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        return self.cache.stats
+
+    # -- cached kernels (object-level API) ------------------------------------
+
+    def quantify_cached(
+        self,
+        dataset: Dataset,
+        function: ScoringFunction,
+        formulation: Formulation = MOST_UNFAIR_AVG_EMD,
+        *,
+        attributes: Optional[Sequence[str]] = None,
+        max_depth: Optional[int] = None,
+        min_partition_size: int = 1,
+    ) -> CachedQuantify:
+        """Memoised ``quantify`` + ``unfairness_breakdown`` over live objects.
+
+        The key is built from content fingerprints, so re-filtered copies of
+        the same population and freshly re-built but identical scoring
+        functions still hit the cache.
+        """
+        key = combine_fingerprints(
+            "quantify",
+            fingerprint_dataset(dataset),
+            fingerprint_function(function),
+            fingerprint_formulation(formulation),
+            fingerprint_value(
+                {
+                    "attributes": None if attributes is None else list(attributes),
+                    "max_depth": max_depth,
+                    "min_partition_size": min_partition_size,
+                }
+            ),
+        )
+
+        def produce() -> Tuple[QuantifyResult, UnfairnessBreakdown]:
+            result = quantify(
+                dataset,
+                function,
+                formulation=formulation,
+                attributes=attributes,
+                max_depth=max_depth,
+                min_partition_size=min_partition_size,
+            )
+            breakdown = unfairness_breakdown(result.partitioning, function, formulation)
+            return result, breakdown
+
+        (result, breakdown), hit = self.cache.get_or_compute(
+            key, produce, cost=lambda pair: float(pair[0].splits_evaluated + 1)
+        )
+        return CachedQuantify(result=result, breakdown=breakdown, key=key, cached=hit)
+
+    def exhaustive_cached(
+        self,
+        dataset: Dataset,
+        function: ScoringFunction,
+        formulation: Formulation = MOST_UNFAIR_AVG_EMD,
+        *,
+        attributes: Optional[Sequence[str]] = None,
+        limit: Optional[int] = 200_000,
+    ) -> ExhaustiveResult:
+        """Memoised :func:`~repro.core.exhaustive.exhaustive_search`."""
+        key = combine_fingerprints(
+            "exhaustive",
+            fingerprint_dataset(dataset),
+            fingerprint_function(function),
+            fingerprint_formulation(formulation),
+            fingerprint_value(
+                {
+                    "attributes": None if attributes is None else list(attributes),
+                    "limit": limit,
+                }
+            ),
+        )
+        result, _ = self.cache.get_or_compute(
+            key,
+            lambda: exhaustive_search(
+                dataset, function, formulation=formulation, attributes=attributes, limit=limit
+            ),
+            cost=lambda outcome: float(outcome.explored + 1),
+        )
+        return result
+
+    def breakdown_cached(
+        self,
+        dataset: Dataset,
+        function: ScoringFunction,
+        formulation: Formulation = MOST_UNFAIR_AVG_EMD,
+        *,
+        attributes: Optional[Sequence[str]] = None,
+        max_depth: Optional[int] = None,
+        min_partition_size: int = 1,
+    ) -> UnfairnessBreakdown:
+        """The breakdown of the quantified partitioning (shares the cache)."""
+        return self.quantify_cached(
+            dataset,
+            function,
+            formulation,
+            attributes=attributes,
+            max_depth=max_depth,
+            min_partition_size=min_partition_size,
+        ).breakdown
+
+    # -- cached role workflows -------------------------------------------------
+
+    def _marketplace_fingerprint(self, marketplace: Marketplace) -> str:
+        parts = [fingerprint_dataset(marketplace.workers)]
+        for job in marketplace:
+            parts.append(
+                combine_fingerprints(
+                    "job",
+                    fingerprint_value(job.title),
+                    fingerprint_function(job.function),
+                    fingerprint_value(job.candidate_filter.describe()),
+                )
+            )
+        return combine_fingerprints("marketplace", *parts)
+
+    def _resolve_marketplace(self, marketplace: Union[str, Marketplace]) -> Marketplace:
+        if isinstance(marketplace, str):
+            return self.marketplace(marketplace)
+        return marketplace
+
+    def audit_marketplace(
+        self,
+        marketplace: Union[str, Marketplace],
+        formulation: Formulation = MOST_UNFAIR_AVG_EMD,
+        *,
+        attributes: Optional[Sequence[str]] = None,
+        min_partition_size: int = 1,
+    ) -> AuditReport:
+        """Memoised AUDITOR workflow over a (named or live) marketplace."""
+        market = self._resolve_marketplace(marketplace)
+        key = combine_fingerprints(
+            "audit-report",
+            self._marketplace_fingerprint(market),
+            fingerprint_formulation(formulation),
+            fingerprint_value(
+                {
+                    "attributes": None if attributes is None else list(attributes),
+                    "min_partition_size": min_partition_size,
+                }
+            ),
+        )
+        auditor = Auditor(
+            formulation=formulation,
+            attributes=attributes,
+            min_partition_size=min_partition_size,
+        )
+        report, _ = self.cache.get_or_compute(
+            key,
+            lambda: auditor.audit_marketplace(market),
+            cost=lambda rep: float(
+                sum(audit.result.splits_evaluated for audit in rep.audits) + 1
+            ),
+        )
+        return report
+
+    def explore_job(
+        self,
+        marketplace: Union[str, Marketplace],
+        job_title: str,
+        sweep_steps: int = 5,
+        formulation: Formulation = MOST_UNFAIR_AVG_EMD,
+        *,
+        min_partition_size: int = 1,
+    ) -> JobOwnerReport:
+        """Memoised JOB OWNER workflow (weight sweep over one job)."""
+        market = self._resolve_marketplace(marketplace)
+        key = combine_fingerprints(
+            "job-owner",
+            self._marketplace_fingerprint(market),
+            fingerprint_formulation(formulation),
+            fingerprint_value(
+                {
+                    "job_title": job_title,
+                    "sweep_steps": sweep_steps,
+                    "min_partition_size": min_partition_size,
+                }
+            ),
+        )
+        owner = JobOwner(formulation=formulation, min_partition_size=min_partition_size)
+        report, _ = self.cache.get_or_compute(
+            key, lambda: owner.explore_job(market, job_title, sweep_steps=sweep_steps)
+        )
+        return report
+
+    def end_user_view(
+        self,
+        group: Mapping[str, object],
+        marketplaces: Sequence[Union[str, Marketplace]],
+        job_title: str,
+    ) -> ReportTable:
+        """Memoised END USER workflow: one group, one job, several platforms."""
+        markets = [self._resolve_marketplace(market) for market in marketplaces]
+        key = combine_fingerprints(
+            "end-user",
+            fingerprint_value(dict(group)),
+            fingerprint_value(job_title),
+            *[self._marketplace_fingerprint(market) for market in markets],
+        )
+        table, _ = self.cache.get_or_compute(
+            key, lambda: EndUser(dict(group)).compare_marketplaces(markets, job_title)
+        )
+        return table
+
+    # -- request execution (the wire protocol) --------------------------------
+
+    def request_key(self, request: ServiceRequest) -> str:
+        """The cache key a request resolves to (content-based, not name-based).
+
+        Names are resolved through the registry first, so two services that
+        register *different* data under the same name produce different keys,
+        and renaming identical data produces identical keys.
+        """
+        if isinstance(request, QuantifyRequest):
+            function = self._effective_function(
+                self.dataset(request.dataset), request.function, request.use_ranks_only
+            )
+            return combine_fingerprints(
+                "request-quantify",
+                fingerprint_dataset(self.dataset(request.dataset)),
+                fingerprint_function(function),
+                fingerprint_formulation(request.formulation()),
+                fingerprint_value(
+                    {
+                        # Function fingerprints ignore display names, but the
+                        # payload echoes the requested name, so it keys too.
+                        "function_name": request.function,
+                        "attributes": None
+                        if request.attributes is None
+                        else list(request.attributes),
+                        "max_depth": request.max_depth,
+                        "min_partition_size": request.min_partition_size,
+                    }
+                ),
+            )
+        if isinstance(request, AuditRequest):
+            return combine_fingerprints(
+                "request-audit",
+                self._marketplace_fingerprint(self.marketplace(request.marketplace)),
+                fingerprint_formulation(request.formulation()),
+                fingerprint_value(
+                    {
+                        "job": request.job,
+                        "attributes": None
+                        if request.attributes is None
+                        else list(request.attributes),
+                        "min_partition_size": request.min_partition_size,
+                    }
+                ),
+            )
+        if isinstance(request, CompareRequest):
+            return combine_fingerprints(
+                "request-compare",
+                fingerprint_dataset(self.dataset(request.dataset)),
+                *[
+                    fingerprint_function(self.function(name))
+                    for name in request.functions
+                ],
+                fingerprint_formulation(request.formulation()),
+                fingerprint_value(
+                    {
+                        "function_names": list(request.functions),
+                        "attributes": None
+                        if request.attributes is None
+                        else list(request.attributes),
+                        "max_depth": request.max_depth,
+                        "min_partition_size": request.min_partition_size,
+                    }
+                ),
+            )
+        raise ServiceError(f"unsupported request type {type(request).__name__}")
+
+    def execute(self, request: ServiceRequest, key: Optional[str] = None) -> ServiceResult:
+        """Execute one request, serving from the cache when possible.
+
+        ``key`` lets callers that already computed :meth:`request_key` (the
+        batch executor does, for deduplication) skip recomputing it — for
+        rank-only requests the key itself involves ranking the population.
+
+        Note on statistics: a cold quantify/compare request records a miss
+        both for its request-level payload entry and for the underlying
+        kernel entry of :meth:`quantify_cached` (the layer shared with
+        :class:`~repro.session.engine.FaiRankEngine`); ``cache_stats``
+        therefore counts both layers.  The returned payload is a private
+        deep copy — mutating it never corrupts the cached value.
+        """
+        started = time.perf_counter()
+        if key is None:
+            key = self.request_key(request)
+        payload, hit = self.cache.get_or_compute(key, lambda: self._build_payload(request))
+        elapsed = time.perf_counter() - started
+        return ServiceResult(
+            kind=request.kind,
+            key=key,
+            payload=copy.deepcopy(payload),
+            cached=hit,
+            elapsed_s=elapsed,
+        )
+
+    def execute_many(
+        self,
+        requests: Sequence[ServiceRequest],
+        max_workers: Optional[int] = None,
+    ) -> List[ServiceResult]:
+        """Run a batch of requests concurrently (see ``BatchExecutor``)."""
+        from repro.service.executor import BatchExecutor
+
+        return BatchExecutor(self, max_workers=max_workers).run(requests)
+
+    # -- payload builders ------------------------------------------------------
+
+    def _effective_function(
+        self, dataset: Dataset, function_name: str, use_ranks_only: bool
+    ) -> ScoringFunction:
+        """Resolve a function honouring the transparency settings."""
+        function = self.function(function_name)
+        if isinstance(function, OpaqueScoringFunction):
+            return RankDerivedScorer(
+                function.reveal_ranking(dataset), name=f"{function_name}-from-ranks"
+            )
+        if use_ranks_only:
+            return RankDerivedScorer(
+                function.rank(dataset), name=f"{function_name}-from-ranks"
+            )
+        return function
+
+    def _build_payload(self, request: ServiceRequest) -> Dict[str, object]:
+        if isinstance(request, QuantifyRequest):
+            return self._quantify_payload(request)
+        if isinstance(request, AuditRequest):
+            return self._audit_payload(request)
+        if isinstance(request, CompareRequest):
+            return self._compare_payload(request)
+        raise ServiceError(f"unsupported request type {type(request).__name__}")
+
+    def _quantify_payload(self, request: QuantifyRequest) -> Dict[str, object]:
+        dataset = self.dataset(request.dataset)
+        function = self._effective_function(
+            dataset, request.function, request.use_ranks_only
+        )
+        formulation = request.formulation()
+        served = self.quantify_cached(
+            dataset,
+            function,
+            formulation,
+            attributes=request.attributes,
+            max_depth=request.max_depth,
+            min_partition_size=request.min_partition_size,
+        )
+        result, breakdown = served.result, served.breakdown
+        return {
+            "dataset": request.dataset,
+            "function": request.function,
+            "formulation": formulation.name,
+            "population": len(dataset),
+            "unfairness": result.unfairness,
+            "partitions": [
+                {"label": label, "size": size}
+                for label, size in zip(result.partitioning.labels, result.partitioning.sizes)
+            ],
+            "splits_evaluated": result.splits_evaluated,
+            "most_favored": breakdown.most_favored,
+            "least_favored": breakdown.least_favored,
+            "pairwise": [
+                [first, second, value]
+                for (first, second), value in breakdown.pairwise.items()
+            ],
+        }
+
+    def _audit_payload(self, request: AuditRequest) -> Dict[str, object]:
+        market = self.marketplace(request.marketplace)
+        formulation = request.formulation()
+        auditor = Auditor(
+            formulation=formulation,
+            attributes=request.attributes,
+            min_partition_size=request.min_partition_size,
+        )
+        if request.job is not None:
+            audits = [auditor.audit_job(market, market.job(request.job))]
+        else:
+            audits = list(
+                self.audit_marketplace(
+                    market,
+                    formulation,
+                    attributes=request.attributes,
+                    min_partition_size=request.min_partition_size,
+                ).audits
+            )
+        jobs_payload = [
+            {
+                "job": audit.job_title,
+                "transparent_function": audit.transparent_function,
+                "unfairness": audit.unfairness,
+                "groups": list(audit.partitions),
+                "most_favored": audit.most_favored,
+                "least_favored": audit.least_favored,
+            }
+            for audit in audits
+        ]
+        most_unfair = max(audits, key=lambda audit: audit.unfairness)
+        least_unfair = min(audits, key=lambda audit: audit.unfairness)
+        return {
+            "marketplace": request.marketplace,
+            "formulation": formulation.name,
+            "jobs": jobs_payload,
+            "most_unfair_job": most_unfair.job_title,
+            "least_unfair_job": least_unfair.job_title,
+        }
+
+    def _compare_payload(self, request: CompareRequest) -> Dict[str, object]:
+        dataset = self.dataset(request.dataset)
+        formulation = request.formulation()
+        rows: List[Dict[str, object]] = []
+        for name in request.functions:
+            served = self.quantify_cached(
+                dataset,
+                self._effective_function(dataset, name, use_ranks_only=False),
+                formulation,
+                attributes=request.attributes,
+                max_depth=request.max_depth,
+                min_partition_size=request.min_partition_size,
+            )
+            rows.append(
+                {
+                    "function": name,
+                    "unfairness": served.result.unfairness,
+                    "groups": len(served.result.partitioning),
+                    "most_favored": served.breakdown.most_favored,
+                    "least_favored": served.breakdown.least_favored,
+                }
+            )
+        by_unfairness = sorted(rows, key=lambda row: (row["unfairness"], row["function"]))
+        return {
+            "dataset": request.dataset,
+            "formulation": formulation.name,
+            "functions": rows,
+            "fairest": by_unfairness[0]["function"],
+            "most_unfair": by_unfairness[-1]["function"],
+        }

@@ -23,8 +23,6 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.anonymize.kanonymity import GlobalRecodingAnonymizer
-from repro.core.quantify import quantify
-from repro.core.unfairness import unfairness_breakdown
 from repro.data.dataset import Dataset
 from repro.data.filters import TrueFilter, apply_filter
 from repro.errors import SessionError
@@ -36,6 +34,8 @@ from repro.roles.report import ReportTable
 from repro.scoring.base import ScoringFunction
 from repro.scoring.library import ScoringLibrary
 from repro.scoring.rank import OpaqueScoringFunction, RankDerivedScorer
+from repro.service.cache import CacheStats
+from repro.service.service import FairnessService
 from repro.session.config import SessionConfig
 from repro.session.panels import Panel, compare_panels
 
@@ -43,14 +43,33 @@ __all__ = ["FaiRankEngine"]
 
 
 class FaiRankEngine:
-    """Headless FaiRank system: dataset/function catalogues plus panels."""
+    """Headless FaiRank system: dataset/function catalogues plus panels.
 
-    def __init__(self) -> None:
+    The compute step of every panel goes through a
+    :class:`~repro.service.service.FairnessService`, so re-opening a panel
+    with a semantically identical configuration (same population, same
+    weights, same formulation) is served from the fingerprint-keyed cache
+    instead of re-running the search.  Pass a shared service to let several
+    engines (or a batch executor) reuse one cache.
+    """
+
+    def __init__(self, service: Optional[FairnessService] = None) -> None:
         self._datasets: Dict[str, Dataset] = {}
         self._functions = ScoringLibrary()
         self._panels: Dict[str, Panel] = {}
         self._panel_counter = 0
         self._anonymizer = GlobalRecodingAnonymizer()
+        self._service = service if service is not None else FairnessService()
+
+    @property
+    def service(self) -> FairnessService:
+        """The fairness service backing this engine's panel computations."""
+        return self._service
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        """Result-cache effectiveness across this engine's panels."""
+        return self._service.cache_stats
 
     # -- catalogues (the Configuration box) ---------------------------------------
 
@@ -137,15 +156,15 @@ class FaiRankEngine:
         """Run the full pipeline for one configuration and keep the panel open."""
         population = self._prepare_population(config)
         function = self._prepare_function(config, population)
-        result = quantify(
+        served = self._service.quantify_cached(
             population,
             function,
-            formulation=config.formulation,
+            config.formulation,
             attributes=config.attributes,
             max_depth=config.max_depth,
             min_partition_size=config.min_partition_size,
         )
-        breakdown = unfairness_breakdown(result.partitioning, function, config.formulation)
+        result, breakdown = served.result, served.breakdown
         self._panel_counter += 1
         identifier = panel_id or f"P{self._panel_counter}"
         panel = Panel(

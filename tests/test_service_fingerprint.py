@@ -1,0 +1,140 @@
+"""Fingerprint stability and sensitivity (cache-key correctness)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.formulations import Aggregation, Formulation, Objective
+from repro.data.loaders import TABLE1_WEIGHTS, load_example_table1
+from repro.marketplace.generator import CrowdsourcingGenerator
+from repro.scoring.base import ScoringFunction
+from repro.scoring.linear import LinearScoringFunction
+from repro.scoring.rank import OpaqueScoringFunction, RankDerivedScorer
+from repro.service.fingerprint import (
+    combine_fingerprints,
+    fingerprint_dataset,
+    fingerprint_formulation,
+    fingerprint_function,
+    fingerprint_value,
+)
+
+
+class ConstantScorer(ScoringFunction):
+    """Module-level so instances are picklable (exercises the pickle fallback)."""
+
+    name = "constant"
+
+    def score_individual(self, individual):
+        return 0.5
+
+
+class TestDatasetFingerprint:
+    def test_same_content_same_key(self):
+        first = load_example_table1()
+        second = load_example_table1()
+        assert first is not second
+        assert fingerprint_dataset(first) == fingerprint_dataset(second)
+
+    def test_memoised_per_object(self):
+        dataset = load_example_table1()
+        assert fingerprint_dataset(dataset) == fingerprint_dataset(dataset)
+
+    def test_different_rows_different_key(self):
+        first = CrowdsourcingGenerator(seed=1).generate(50)
+        second = CrowdsourcingGenerator(seed=2).generate(50)
+        assert fingerprint_dataset(first) != fingerprint_dataset(second)
+
+    def test_display_name_is_ignored(self):
+        base = CrowdsourcingGenerator(seed=3).generate(30, name="one-name")
+        renamed = CrowdsourcingGenerator(seed=3).generate(30, name="other-name")
+        assert fingerprint_dataset(base) == fingerprint_dataset(renamed)
+
+    def test_subset_differs_from_whole(self):
+        dataset = load_example_table1()
+        subset = dataset.select_uids(dataset.uids[:5])
+        assert fingerprint_dataset(dataset) != fingerprint_dataset(subset)
+
+
+class TestFunctionFingerprint:
+    def test_same_weights_same_key(self):
+        first = LinearScoringFunction(dict(TABLE1_WEIGHTS), name="f")
+        second = LinearScoringFunction(dict(TABLE1_WEIGHTS), name="f")
+        assert fingerprint_function(first) == fingerprint_function(second)
+
+    def test_display_name_is_ignored(self):
+        # Identical weights under different job names score identically, so
+        # they must share cache entries (the request-level key re-adds the
+        # requested name because payloads echo it).
+        first = LinearScoringFunction(dict(TABLE1_WEIGHTS), name="Content writing")
+        second = LinearScoringFunction(dict(TABLE1_WEIGHTS), name="Data labelling")
+        assert fingerprint_function(first) == fingerprint_function(second)
+
+    def test_one_changed_weight_changes_key(self):
+        base = LinearScoringFunction({"Language Test": 0.7, "Rating": 0.3}, name="f")
+        tweaked = LinearScoringFunction({"Language Test": 0.6, "Rating": 0.4}, name="f")
+        assert fingerprint_function(base) != fingerprint_function(tweaked)
+
+    def test_weight_order_is_irrelevant(self):
+        first = LinearScoringFunction({"Language Test": 0.7, "Rating": 0.3}, name="f")
+        second = LinearScoringFunction({"Rating": 0.3, "Language Test": 0.7}, name="f")
+        assert fingerprint_function(first) == fingerprint_function(second)
+
+    def test_rank_derived_scorer_fingerprints_by_ranking(self):
+        dataset = load_example_table1()
+        function = LinearScoringFunction(TABLE1_WEIGHTS, name="f")
+        first = RankDerivedScorer(function.rank(dataset), name="g")
+        second = RankDerivedScorer(function.rank(dataset), name="g")
+        assert fingerprint_function(first) == fingerprint_function(second)
+        exposure = RankDerivedScorer(function.rank(dataset), weighting="exposure", name="g")
+        assert fingerprint_function(first) != fingerprint_function(exposure)
+
+    def test_opaque_wrapper_distinct_from_hidden(self):
+        hidden = LinearScoringFunction(TABLE1_WEIGHTS, name="f")
+        opaque = OpaqueScoringFunction(hidden, name="f")
+        assert fingerprint_function(opaque) != fingerprint_function(hidden)
+        assert fingerprint_function(opaque) == fingerprint_function(
+            OpaqueScoringFunction(LinearScoringFunction(TABLE1_WEIGHTS, name="f"), name="f")
+        )
+
+    def test_pickle_fallback_for_plain_functions(self):
+        first, second = ConstantScorer(), ConstantScorer()
+        # Picklable, structurally identical objects share a pickle-hash key.
+        assert fingerprint_function(first) == fingerprint_function(second)
+
+    def test_unpicklable_function_degrades_to_identity(self):
+        class Closure(ScoringFunction):
+            name = "closure"
+
+            def __init__(self):
+                self.fn = lambda individual: 0.5  # unpicklable payload
+
+            def score_individual(self, individual):
+                return self.fn(individual)
+
+        first, second = Closure(), Closure()
+        assert fingerprint_function(first) == fingerprint_function(first)
+        assert fingerprint_function(first) != fingerprint_function(second)
+
+
+class TestFormulationAndValues:
+    def test_formulation_fields_feed_the_key(self):
+        base = Formulation()
+        assert fingerprint_formulation(base) == fingerprint_formulation(Formulation())
+        assert fingerprint_formulation(base) != fingerprint_formulation(
+            Formulation(objective=Objective.LEAST_UNFAIR)
+        )
+        assert fingerprint_formulation(base) != fingerprint_formulation(
+            Formulation(aggregation=Aggregation.MAXIMUM)
+        )
+        assert fingerprint_formulation(base) != fingerprint_formulation(Formulation(bins=7))
+
+    def test_value_encoding_distinguishes_types(self):
+        assert fingerprint_value("1") != fingerprint_value(1)
+        assert fingerprint_value(True) != fingerprint_value(1)
+        assert fingerprint_value(None) != fingerprint_value("None")
+        assert fingerprint_value([1, 2]) != fingerprint_value([2, 1])
+        assert fingerprint_value({"a": 1, "b": 2}) == fingerprint_value({"b": 2, "a": 1})
+
+    def test_combine_is_order_sensitive(self):
+        assert combine_fingerprints("a", "b") != combine_fingerprints("b", "a")
+        assert combine_fingerprints("a", None) != combine_fingerprints("a", "-")

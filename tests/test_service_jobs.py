@@ -1,0 +1,151 @@
+"""Wire protocol: lossless JSON round-trips of every request/response type."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.formulations import Aggregation, Objective
+from repro.errors import ServiceError
+from repro.service.jobs import (
+    AuditRequest,
+    CompareRequest,
+    QuantifyRequest,
+    ServiceResult,
+    request_from_json,
+)
+
+
+class TestQuantifyRequest:
+    def test_round_trip_defaults(self):
+        request = QuantifyRequest(dataset="d", function="f")
+        assert QuantifyRequest.from_json(request.to_json()) == request
+
+    def test_round_trip_every_field(self):
+        request = QuantifyRequest(
+            dataset="d",
+            function="f",
+            objective="least_unfair",
+            aggregation="variance",
+            distance="emd",
+            bins=9,
+            attributes=("Gender", "Language"),
+            max_depth=3,
+            min_partition_size=4,
+            use_ranks_only=True,
+        )
+        payload = json.loads(json.dumps(request.to_json()))  # via real JSON text
+        assert QuantifyRequest.from_json(payload) == request
+
+    def test_formulation_materialisation(self):
+        request = QuantifyRequest(
+            dataset="d", function="f", objective="least_unfair", aggregation="maximum"
+        )
+        formulation = request.formulation()
+        assert formulation.objective is Objective.LEAST_UNFAIR
+        assert formulation.aggregation is Aggregation.MAXIMUM
+
+    def test_requires_names(self):
+        with pytest.raises(ServiceError):
+            QuantifyRequest(dataset="", function="f")
+        with pytest.raises(ServiceError):
+            QuantifyRequest(dataset="d", function="")
+
+    def test_attribute_sequences_normalise_to_tuples(self):
+        request = QuantifyRequest(dataset="d", function="f", attributes=["Gender"])
+        assert request.attributes == ("Gender",)
+
+
+class TestAuditRequest:
+    def test_round_trip(self):
+        request = AuditRequest(
+            marketplace="m",
+            job="Content writing",
+            attributes=("Gender",),
+            min_partition_size=5,
+            bins=7,
+        )
+        payload = json.loads(json.dumps(request.to_json()))
+        assert AuditRequest.from_json(payload) == request
+
+    def test_whole_marketplace_job_is_none(self):
+        request = AuditRequest(marketplace="m")
+        assert request.job is None
+        assert AuditRequest.from_json(request.to_json()) == request
+
+    def test_requires_marketplace(self):
+        with pytest.raises(ServiceError):
+            AuditRequest(marketplace="")
+
+
+class TestCompareRequest:
+    def test_round_trip(self):
+        request = CompareRequest(
+            dataset="d",
+            functions=("f1", "f2", "f3"),
+            objective="most_unfair",
+            max_depth=2,
+            min_partition_size=3,
+        )
+        payload = json.loads(json.dumps(request.to_json()))
+        assert CompareRequest.from_json(payload) == request
+
+    def test_requires_at_least_one_function(self):
+        with pytest.raises(ServiceError):
+            CompareRequest(dataset="d", functions=())
+
+    def test_function_lists_normalise_to_tuples(self):
+        request = CompareRequest(dataset="d", functions=["f1", "f2"])
+        assert request.functions == ("f1", "f2")
+
+
+class TestDispatch:
+    def test_dispatch_round_trips_all_kinds(self):
+        requests = [
+            QuantifyRequest(dataset="d", function="f"),
+            AuditRequest(marketplace="m"),
+            CompareRequest(dataset="d", functions=("f",)),
+        ]
+        for request in requests:
+            rebuilt = request_from_json(json.loads(json.dumps(request.to_json())))
+            assert rebuilt == request
+            assert type(rebuilt) is type(request)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ServiceError, match="unknown request kind"):
+            request_from_json({"kind": "frobnicate"})
+
+    def test_missing_kind_rejected(self):
+        with pytest.raises(ServiceError, match="'kind'"):
+            request_from_json({"dataset": "d"})
+
+    def test_missing_required_field_rejected(self):
+        with pytest.raises(ServiceError, match="missing required field"):
+            request_from_json({"kind": "quantify", "dataset": "d"})
+
+
+class TestServiceResult:
+    def test_round_trip(self):
+        result = ServiceResult(
+            kind="quantify",
+            key="abc123",
+            payload={"unfairness": 0.25, "partitions": [{"label": "ALL", "size": 10}]},
+            cached=True,
+            elapsed_s=0.125,
+        )
+        rebuilt = ServiceResult.from_json(json.loads(json.dumps(result.to_json())))
+        assert rebuilt == result
+
+    def test_canonical_ignores_serving_metadata(self):
+        cold = ServiceResult(kind="quantify", key="k", payload={"a": 1}, cached=False,
+                             elapsed_s=1.5)
+        warm = ServiceResult(kind="quantify", key="k", payload={"a": 1}, cached=True,
+                             elapsed_s=0.001)
+        assert cold.canonical() == warm.canonical()
+
+    def test_canonical_is_deterministic_json(self):
+        result = ServiceResult(kind="x", key="k", payload={"b": 2, "a": 1})
+        assert result.canonical() == json.dumps(
+            {"kind": "x", "key": "k", "payload": {"b": 2, "a": 1}}, sort_keys=True
+        )
