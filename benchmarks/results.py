@@ -1,0 +1,31 @@
+"""Shared helper for persisting benchmark results as BENCH_*.json files.
+
+Each benchmark module merges its result blocks into one JSON file at the
+repository root; CI uploads the emitted files as workflow artifacts so the
+perf trajectory is tracked per commit.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict
+
+#: The repository root (benchmarks/ lives directly underneath it).
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def write_results(path: Path, payload: Dict[str, object]) -> None:
+    """Merge a block of results into the JSON file at ``path``.
+
+    Merging (rather than overwriting) lets the several tests of one bench
+    module contribute their own top-level keys to a single artifact.
+    """
+    existing: Dict[str, object] = {}
+    if path.exists():
+        try:
+            existing = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            existing = {}
+    existing.update(payload)
+    path.write_text(json.dumps(existing, indent=2, sort_keys=True) + "\n")

@@ -14,7 +14,6 @@ Run with:  python examples/transparency_study.py
 
 from __future__ import annotations
 
-from repro.data.filters import TrueFilter
 from repro.experiments.workloads import biased_population
 from repro.scoring import LinearScoringFunction
 from repro.session import FaiRankEngine, SessionConfig

@@ -31,6 +31,7 @@ from repro.core import (
     Objective,
     Partition,
     Partitioning,
+    ScoreStore,
     exhaustive_search,
     quantify,
     unfairness,
@@ -67,6 +68,7 @@ __all__ = [
     "RankDerivedScorer",
     "Partition",
     "Partitioning",
+    "ScoreStore",
     "Formulation",
     "Objective",
     "Aggregation",

@@ -18,7 +18,7 @@ highest level always maps every value to ``SUPPRESSED``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Mapping, Sequence, Tuple
 
 from repro.errors import AnonymizationError
 
@@ -104,7 +104,9 @@ class CategoricalHierarchy(GeneralizationHierarchy):
         return chain[level - 1]
 
     @classmethod
-    def two_level(cls, attribute: str, grouping: Mapping[object, Sequence[object]]) -> "CategoricalHierarchy":
+    def two_level(
+        cls, attribute: str, grouping: Mapping[object, Sequence[object]]
+    ) -> "CategoricalHierarchy":
         """Build a one-intermediate-level hierarchy from ``group label -> values``."""
         ladders: Dict[object, Tuple[object, ...]] = {}
         for group_label, values in grouping.items():

@@ -26,17 +26,10 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-import numpy as np
 
-from repro.anonymize.hierarchy import (
-    SUPPRESSED,
-    CategoricalHierarchy,
-    GeneralizationHierarchy,
-    IntervalHierarchy,
-    identity_hierarchy,
-)
+from repro.anonymize.hierarchy import GeneralizationHierarchy, IntervalHierarchy, identity_hierarchy
 from repro.data.dataset import Dataset, Individual
-from repro.data.schema import Attribute, AttributeKind, AttributeType, Schema
+from repro.data.schema import Attribute, AttributeType, Schema
 from repro.errors import AnonymizationError
 
 __all__ = [
@@ -227,7 +220,10 @@ class GlobalRecodingAnonymizer:
                 kept = generalized.filter(lambda ind: ind.uid not in set(suppressed))
                 return AnonymizationResult(
                     dataset=Dataset(
-                        generalized.schema, tuple(kept), name=f"{dataset.name}/k={k}", validate=False
+                        generalized.schema,
+                        tuple(kept),
+                        name=f"{dataset.name}/k={k}",
+                        validate=False,
                     ),
                     k=k,
                     quasi_identifiers=quasi_identifiers,
@@ -301,7 +297,9 @@ class MondrianAnonymizer:
         order = {uid: index for index, uid in enumerate(dataset.uids)}
         individuals.sort(key=lambda ind: order[ind.uid])
         return AnonymizationResult(
-            dataset=Dataset(schema, individuals, name=f"{dataset.name}/mondrian-k={k}", validate=False),
+            dataset=Dataset(
+                schema, individuals, name=f"{dataset.name}/mondrian-k={k}", validate=False
+            ),
             k=k,
             quasi_identifiers=quasi_identifiers,
             levels={},
@@ -351,7 +349,10 @@ class MondrianAnonymizer:
     ) -> Tuple[List[Individual], List[Individual]]:
         values = [record.values[attribute] for record in records]
         if all(_is_number(v) for v in values):
-            ordered = sorted(records, key=lambda r: (float(r.values[attribute]), r.uid))  # type: ignore[arg-type]
+            ordered = sorted(
+                records,
+                key=lambda r: (float(r.values[attribute]), r.uid),  # type: ignore[arg-type]
+            )
         else:
             ordered = sorted(records, key=lambda r: (str(r.values[attribute]), r.uid))
         middle = len(ordered) // 2

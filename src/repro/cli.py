@@ -41,7 +41,8 @@ def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
         prog="fairank",
-        description="Explore fairness of ranking in online job marketplaces (FaiRank reproduction).",
+        description="Explore fairness of ranking in online job marketplaces "
+                    "(FaiRank reproduction).",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -52,7 +53,8 @@ def build_parser() -> argparse.ArgumentParser:
     quantify_parser = subparsers.add_parser(
         "quantify", help="run the QUANTIFY search on a dataset"
     )
-    quantify_parser.add_argument("--csv", help="CSV file with a header row (default: built-in Table 1)")
+    quantify_parser.add_argument("--csv",
+                                 help="CSV file with a header row (default: built-in Table 1)")
     quantify_parser.add_argument("--protected", nargs="+",
                                  help="protected attribute columns (required with --csv)")
     quantify_parser.add_argument("--observed", nargs="+",
@@ -158,7 +160,8 @@ def _cmd_table1(_: argparse.Namespace) -> int:
     dataset = load_example_table1()
     function = LinearScoringFunction(TABLE1_WEIGHTS, name="table1-f")
     scores = function.score_map(dataset)
-    header = ("uid", "Gender", "Country", "Language", "Ethnicity", "Language Test", "Rating", "f(w)")
+    header = ("uid", "Gender", "Country", "Language", "Ethnicity",
+              "Language Test", "Rating", "f(w)")
     print(" | ".join(header))
     for individual in dataset:
         print(" | ".join(str(x) for x in (
@@ -215,7 +218,7 @@ def _cmd_audit(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
-    from repro.experiments.harness import registry, run_all, run_experiment
+    from repro.experiments.harness import run_all, run_experiment
 
     if args.ids:
         outcomes = [run_experiment(experiment_id) for experiment_id in args.ids]
@@ -285,6 +288,7 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
     mode = "serial" if args.serial else f"parallel x{executor.max_workers}"
     print(f"executed {len(requests)} request(s) per round, {args.repeat} round(s), {mode}")
     print(f"cache: {service.cache_stats.describe()}")
+    print(f"score store: {service.store_stats.describe()}")
     return 0
 
 

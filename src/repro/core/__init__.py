@@ -12,10 +12,12 @@ from repro.core.formulations import (
     Aggregation,
     Formulation,
     Objective,
+    resolve_binning,
 )
 from repro.core.partition import Partition, Partitioning, root_partition, split_partition
 from repro.core.problem import FairnessProblem
 from repro.core.quantify import QuantifyResult, most_unfair_attribute, quantify
+from repro.core.scorestore import ScoreStore, ScoreStoreStats
 from repro.core.tree import PartitionNode, PartitionTree
 from repro.core.unfairness import (
     UnfairnessBreakdown,
@@ -37,6 +39,9 @@ __all__ = [
     "Formulation",
     "MOST_UNFAIR_AVG_EMD",
     "LEAST_UNFAIR_AVG_EMD",
+    "resolve_binning",
+    "ScoreStore",
+    "ScoreStoreStats",
     "unfairness",
     "unfairness_breakdown",
     "UnfairnessBreakdown",

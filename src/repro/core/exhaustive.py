@@ -18,16 +18,22 @@ framing of the problem and keeps the optimum comparable to the greedy output.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, Optional, Sequence, Tuple
 
 from repro.core.formulations import Formulation, MOST_UNFAIR_AVG_EMD
 from repro.core.partition import Partition, Partitioning, root_partition, split_partition
+from repro.core.scorestore import ScoreStore
 from repro.core.unfairness import unfairness
 from repro.data.dataset import Dataset
 from repro.errors import PartitioningError
 from repro.scoring.base import ScoringFunction
 
-__all__ = ["ExhaustiveResult", "enumerate_partitionings", "exhaustive_search", "count_partitionings"]
+__all__ = [
+    "ExhaustiveResult",
+    "enumerate_partitionings",
+    "exhaustive_search",
+    "count_partitionings",
+]
 
 
 @dataclass
@@ -158,13 +164,25 @@ def exhaustive_search(
     formulation: Formulation = MOST_UNFAIR_AVG_EMD,
     attributes: Optional[Sequence[str]] = None,
     limit: Optional[int] = 200_000,
+    *,
+    store: Optional[ScoreStore] = None,
+    materialize: bool = True,
 ) -> ExhaustiveResult:
     """Find the exact optimum partitioning by enumerating the whole space.
 
     Ties are broken in favour of the partitioning with fewer partitions
     (simpler explanations first), then by label order, so results are
     deterministic across runs.
+
+    The same leaf partitions recur in exponentially many enumerated
+    partitionings, so the search materializes scores once in a
+    :class:`~repro.core.scorestore.ScoreStore` (pass ``materialize=False``
+    for the direct re-scoring path, or ``store=`` to share an existing one).
     """
+    if store is not None and not store.serves(function):
+        store = None  # built for a different function: never serve its scores
+    if store is None and materialize:
+        store = ScoreStore(dataset, function)
     best_partitioning: Optional[Partitioning] = None
     best_value = 0.0
     explored = 0
@@ -172,7 +190,7 @@ def exhaustive_search(
         dataset, attributes=attributes, require_multiple=True, limit=limit
     ):
         explored += 1
-        value = unfairness(partitioning, function, formulation)
+        value = unfairness(partitioning, function, formulation, store=store)
         if best_partitioning is None:
             best_partitioning, best_value = partitioning, value
             continue

@@ -19,9 +19,9 @@ greedy and exhaustive algorithms need.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from enum import Enum
-from typing import Callable, Dict, Optional, Sequence, Tuple
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -29,7 +29,14 @@ from repro.errors import FormulationError
 from repro.metrics.distances import DistanceMeasure, EMDDistance, get_distance
 from repro.metrics.histogram import DEFAULT_BINS, Binning
 
-__all__ = ["Objective", "Aggregation", "Formulation", "MOST_UNFAIR_AVG_EMD", "LEAST_UNFAIR_AVG_EMD"]
+__all__ = [
+    "Objective",
+    "Aggregation",
+    "Formulation",
+    "MOST_UNFAIR_AVG_EMD",
+    "LEAST_UNFAIR_AVG_EMD",
+    "resolve_binning",
+]
 
 
 class Objective(str, Enum):
@@ -143,7 +150,9 @@ class Formulation:
             return candidate > incumbent + tolerance
         return candidate < incumbent - tolerance
 
-    def is_at_least_as_good(self, candidate: float, incumbent: float, tolerance: float = 1e-12) -> bool:
+    def is_at_least_as_good(
+        self, candidate: float, incumbent: float, tolerance: float = 1e-12
+    ) -> bool:
         """True when ``candidate`` is at least as good as ``incumbent``."""
         if self.objective.is_maximizing:
             return candidate >= incumbent - tolerance
@@ -192,6 +201,27 @@ class Formulation:
             distance=get_distance(distance),
             bins=bins,
         )
+
+
+def resolve_binning(formulation: Formulation, binning: Optional[Binning] = None) -> Binning:
+    """The single source of truth for the binning a formulation's histograms use.
+
+    Every hot path (``quantify``, ``unfairness``, ``unfairness_breakdown``,
+    the score store) resolves its binning through this function, so a
+    formulation that omits an explicit ``binning`` gets one consistent
+    default (the unit interval with ``formulation.bins`` bins) everywhere.
+    Passing an explicit ``binning`` that disagrees with the formulation's is
+    an error: histograms built over mismatched binnings silently produce
+    meaningless distances, so the mismatch is raised instead.
+    """
+    effective = formulation.effective_binning
+    if binning is not None and binning != effective:
+        raise FormulationError(
+            f"explicit binning {binning} conflicts with the formulation's binning "
+            f"{effective}; drop the explicit binning or build the formulation with "
+            "binning=... so every histogram uses the same bins"
+        )
+    return effective
 
 
 #: The paper's default formulation (Definitions 1 and 2).

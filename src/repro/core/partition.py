@@ -10,17 +10,26 @@ aggregation of pairwise distances between the partitions' score histograms.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.data.dataset import Dataset
 from repro.errors import PartitioningError
 from repro.metrics.histogram import Binning, Histogram, build_histogram
-from repro.scoring.base import ScoringFunction
+from repro.scoring.base import ScoringFunction, frozen_scores
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.core.scorestore import ScoreStore
 
 __all__ = ["Partition", "Partitioning", "split_partition", "root_partition"]
+
+#: Per-partition score memo bound: a partition rarely sees more than a couple
+#: of distinct scoring functions in one session (the function under audit plus
+#: a rank-derived variant); a small bound keeps weight sweeps from pinning
+#: dozens of throwaway functions in memory.
+_SCORE_MEMO_SLOTS = 4
 
 
 @dataclass(frozen=True)
@@ -58,8 +67,16 @@ class Partition:
 
     @property
     def key(self) -> Tuple[Tuple[str, object], ...]:
-        """Hashable canonical identity (constraints sorted by attribute name)."""
-        return tuple(sorted(self.constraints, key=lambda pair: pair[0]))
+        """Hashable canonical identity (constraints sorted by attribute name).
+
+        Cached: the score store keys its memos by partition identity, so the
+        hot paths ask for the same key thousands of times per search.
+        """
+        cached = self.__dict__.get("_key_cache")
+        if cached is None:
+            cached = tuple(sorted(self.constraints, key=lambda pair: pair[0]))
+            self.__dict__["_key_cache"] = cached
+        return cached
 
     @property
     def size(self) -> int:
@@ -83,16 +100,52 @@ class Partition:
 
     # -- scores -------------------------------------------------------------
 
-    def scores(self, function: ScoringFunction) -> np.ndarray:
-        """Scores of the partition's members under ``function``."""
-        return function.score_dataset(self.members)
+    def scores(
+        self, function: ScoringFunction, store: Optional["ScoreStore"] = None
+    ) -> np.ndarray:
+        """Scores of the partition's members under ``function``.
 
-    def histogram(self, function: ScoringFunction, binning: Optional[Binning] = None) -> Histogram:
+        With a :class:`~repro.core.scorestore.ScoreStore` the scores are
+        sliced from the store's materialized vector.  Without one, the result
+        is memoised per function object on the partition itself, so the
+        session layer's Node boxes (statistics + histogram + rendering) score
+        each partition once instead of once per box.  Either way the returned
+        array is read-only — every caller shares one vector.
+        """
+        if store is not None and store.serves(function):
+            return store.scores(self)
+        memo: Optional[Dict[ScoringFunction, np.ndarray]] = getattr(self, "_score_memo", None)
+        if memo is not None:
+            cached = memo.get(function)
+            if cached is not None:
+                return cached
+        values = frozen_scores(function, self.members)
+        # Copy-and-swap keeps concurrent readers safe: the memo dict is never
+        # mutated in place, only atomically replaced.
+        updated = dict(memo) if memo is not None else {}
+        updated[function] = values
+        while len(updated) > _SCORE_MEMO_SLOTS:
+            updated.pop(next(iter(updated)))
+        object.__setattr__(self, "_score_memo", updated)
+        return values
+
+    def histogram(
+        self,
+        function: ScoringFunction,
+        binning: Optional[Binning] = None,
+        store: Optional["ScoreStore"] = None,
+    ) -> Histogram:
         """Score histogram of the partition's members (Definition 2's ``h(p, f)``)."""
+        if store is not None and store.serves(function):
+            return store.histogram(self, binning=binning)
         return build_histogram(self.scores(function), binning=binning)
 
-    def statistics(self, function: ScoringFunction) -> Dict[str, float]:
+    def statistics(
+        self, function: ScoringFunction, store: Optional["ScoreStore"] = None
+    ) -> Dict[str, float]:
         """Summary statistics shown in the session layer's Node box."""
+        if store is not None and store.serves(function):
+            return store.statistics(self)
         values = self.scores(function)
         if values.size == 0:
             return {"size": 0, "mean": 0.0, "min": 0.0, "max": 0.0, "std": 0.0}
@@ -113,13 +166,20 @@ def root_partition(dataset: Dataset) -> Partition:
     return Partition(constraints=(), members=dataset)
 
 
-def split_partition(partition: Partition, attribute: str) -> Tuple[Partition, ...]:
+def split_partition(
+    partition: Partition, attribute: str, store: Optional["ScoreStore"] = None
+) -> Tuple[Partition, ...]:
     """Split a partition into one child per distinct value of ``attribute``.
 
     Children are ordered by the attribute's declared domain order when
     available (falling back to a stable sorted order), matching the paper's
     decision-tree-style splits.  Only values present among the members yield
     children, so no child is ever empty.
+
+    With a :class:`~repro.core.scorestore.ScoreStore` the split is performed
+    over the store's integer-coded columns and row indices (same children, in
+    the same order, with lazily materialised members) instead of a Python
+    group-by — the store falls back to this path for unmappable partitions.
     """
     schema = partition.members.schema
     attr = schema.require_protected(attribute)
@@ -127,6 +187,10 @@ def split_partition(partition: Partition, attribute: str) -> Tuple[Partition, ..
         raise PartitioningError(
             f"partition {partition.label!r} already constrains {attribute!r}"
         )
+    if store is not None:
+        children = store.split(partition, attr)
+        if children is not None:
+            return children
     groups = partition.members.group_by([attribute])
     ordered_values: List[object] = list(partition.members.distinct_values(attribute))
     children = []
@@ -168,13 +232,14 @@ class Partitioning:
         for partition in self.partitions:
             if partition.size == 0:
                 raise PartitioningError(f"partition {partition.label!r} is empty")
+            label = partition.label
             for uid in partition.uids:
                 if uid in seen:
                     raise PartitioningError(
                         f"individual {uid!r} appears in both {seen[uid]!r} and "
-                        f"{partition.label!r}; partitions must be disjoint"
+                        f"{label!r}; partitions must be disjoint"
                     )
-                seen[uid] = partition.label
+                seen[uid] = label
         missing = set(self.dataset.uids) - set(seen)
         if missing:
             raise PartitioningError(
@@ -237,10 +302,21 @@ class Partitioning:
             ) from None
 
     def histograms(
-        self, function: ScoringFunction, binning: Optional[Binning] = None
+        self,
+        function: ScoringFunction,
+        binning: Optional[Binning] = None,
+        store: Optional["ScoreStore"] = None,
     ) -> Tuple[Histogram, ...]:
-        """Score histogram of every partition, over a shared binning."""
-        return tuple(partition.histogram(function, binning=binning) for partition in self.partitions)
+        """Score histogram of every partition, over a shared binning.
+
+        Routed through each partition's cached score vector (or the given
+        :class:`~repro.core.scorestore.ScoreStore`), so repeated histogram
+        requests never trigger extra scoring passes.
+        """
+        return tuple(
+            partition.histogram(function, binning=binning, store=store)
+            for partition in self.partitions
+        )
 
     def group_sizes(self) -> Dict[str, int]:
         """Mapping of partition label -> number of members."""

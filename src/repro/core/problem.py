@@ -13,14 +13,14 @@ panels" interaction of the demo.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Optional, Sequence, Tuple, Union
+from typing import Optional, Tuple, Union
 
 from repro.core.exhaustive import ExhaustiveResult, exhaustive_search
 from repro.core.formulations import Formulation, MOST_UNFAIR_AVG_EMD, Objective
 from repro.core.quantify import QuantifyResult, quantify
 from repro.data.dataset import Dataset
 from repro.data.filters import Filter, TrueFilter, apply_filter
-from repro.errors import PartitioningError, ScoringError
+from repro.errors import PartitioningError
 from repro.scoring.base import ScoringFunction
 from repro.scoring.linear import LinearScoringFunction
 

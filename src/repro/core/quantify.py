@@ -23,16 +23,17 @@ renders) and as the leaf :class:`~repro.core.partition.Partitioning`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
 
-from repro.core.formulations import Formulation, MOST_UNFAIR_AVG_EMD
+from repro.core.formulations import Formulation, MOST_UNFAIR_AVG_EMD, resolve_binning
 from repro.core.partition import Partition, Partitioning, root_partition, split_partition
+from repro.core.scorestore import ScoreStore
 from repro.core.tree import PartitionNode, PartitionTree
 from repro.core.unfairness import pairwise_distances, unfairness
 from repro.data.dataset import Dataset
 from repro.errors import PartitioningError
-from repro.metrics.histogram import Binning, Histogram
+from repro.metrics.histogram import Histogram
 from repro.scoring.base import ScoringFunction
 
 __all__ = ["QuantifyResult", "quantify", "most_unfair_attribute"]
@@ -87,7 +88,10 @@ class _SplitCounter:
 
 
 def _candidate_splits(
-    partition: Partition, attributes: Sequence[str], min_partition_size: int = 1
+    partition: Partition,
+    attributes: Sequence[str],
+    min_partition_size: int = 1,
+    store: Optional[ScoreStore] = None,
 ) -> Dict[str, Tuple[Partition, ...]]:
     """Single-attribute splits of ``partition`` with >= 2 admissible children.
 
@@ -97,13 +101,65 @@ def _candidate_splits(
     """
     candidates: Dict[str, Tuple[Partition, ...]] = {}
     for attribute in attributes:
-        children = split_partition(partition, attribute)
+        children = split_partition(partition, attribute, store=store)
         if len(children) < 2:
             continue
         if any(child.size < min_partition_size for child in children):
             continue
         candidates[attribute] = children
     return candidates
+
+
+def _candidate_histograms(
+    partition: Partition,
+    attributes: Sequence[str],
+    function: ScoringFunction,
+    binning,
+    min_partition_size: int,
+    store: Optional[ScoreStore],
+) -> Tuple[Dict[str, Tuple[Histogram, ...]], Dict[str, Tuple[Partition, ...]]]:
+    """Admissible candidate splits as histogram batches, one per attribute.
+
+    Returns ``(histograms per attribute, materialised children per
+    attribute)``.  With a store that can map the partition, candidates are
+    evaluated without materialising child partitions (the children mapping
+    stays empty and the winner is materialised later by the caller); in every
+    other case the children are built eagerly and their histograms derived
+    from them — bit-identical either way.  Admissibility (>= 2 children,
+    every child at least ``min_partition_size``) and the error on an
+    already-constrained attribute are shared by both modes.
+    """
+    histograms: Dict[str, Tuple[Histogram, ...]] = {}
+    children_of: Dict[str, Tuple[Partition, ...]] = {}
+    if store is not None:
+        schema = partition.members.schema
+        evaluated: Optional[Dict[str, Tuple[Histogram, ...]]] = {}
+        for attribute in attributes:
+            attr = schema.require_protected(attribute)
+            if attribute in partition.constrained_attributes:
+                raise PartitioningError(
+                    f"partition {partition.label!r} already constrains {attribute!r}"
+                )
+            candidate = store.candidate_split(partition, attr, binning)
+            if candidate is None:
+                # Unmappable partition: fall back to the materialising mode.
+                evaluated = None
+                break
+            values, sizes, batch = candidate
+            if len(values) < 2 or any(size < min_partition_size for size in sizes):
+                continue
+            assert evaluated is not None
+            evaluated[attribute] = batch
+        if evaluated is not None:
+            return evaluated, children_of
+    for attribute, children in _candidate_splits(
+        partition, attributes, min_partition_size, store=store
+    ).items():
+        children_of[attribute] = children
+        histograms[attribute] = tuple(
+            child.histogram(function, binning=binning, store=store) for child in children
+        )
+    return histograms, children_of
 
 
 def most_unfair_attribute(
@@ -114,6 +170,7 @@ def most_unfair_attribute(
     siblings: Sequence[Histogram] = (),
     counter: Optional[_SplitCounter] = None,
     min_partition_size: int = 1,
+    store: Optional[ScoreStore] = None,
 ) -> Optional[Tuple[str, Tuple[Partition, ...], float]]:
     """Pick the attribute whose split of ``partition`` is best for the objective.
 
@@ -122,24 +179,36 @@ def most_unfair_attribute(
     the overall partitioning would exhibit locally if the split were applied.
     Returns ``(attribute, children, score)`` or ``None`` when no attribute
     can split the partition into two or more children of at least
-    ``min_partition_size`` members.
+    ``min_partition_size`` members.  A :class:`~repro.core.scorestore.ScoreStore`
+    serves every candidate's histograms from materialized scores, and only
+    the winning attribute's children are ever materialised.
     """
-    binning = formulation.effective_binning
-    candidates = _candidate_splits(partition, attributes, min_partition_size)
-    if not candidates:
+    binning = resolve_binning(formulation)
+    if store is not None and not store.serves(function):
+        # A store built for a different function must never answer for this
+        # one; fall back to direct scoring rather than serve wrong numbers.
+        store = None
+    evaluated, children_of = _candidate_histograms(
+        partition, attributes, function, binning, min_partition_size, store
+    )
+    if not evaluated:
         return None
 
-    best: Optional[Tuple[str, Tuple[Partition, ...], float]] = None
-    for attribute in sorted(candidates):
-        children = candidates[attribute]
-        child_histograms = [child.histogram(function, binning=binning) for child in children]
+    best_attribute: Optional[str] = None
+    best_score = 0.0
+    for attribute in sorted(evaluated):
+        child_histograms = evaluated[attribute]
         if counter is not None:
-            counter.add(len(children))
+            counter.add(len(child_histograms))
         all_histograms = list(child_histograms) + list(siblings)
         score = formulation.aggregate(pairwise_distances(all_histograms, formulation))
-        if best is None or formulation.is_better(score, best[2]):
-            best = (attribute, children, score)
-    return best
+        if best_attribute is None or formulation.is_better(score, best_score):
+            best_attribute, best_score = attribute, score
+    assert best_attribute is not None
+    children = children_of.get(best_attribute)
+    if children is None:
+        children = split_partition(partition, best_attribute, store=store)
+    return (best_attribute, children, best_score)
 
 
 def _quantify_node(
@@ -152,9 +221,10 @@ def _quantify_node(
     max_depth: Optional[int],
     min_partition_size: int,
     depth: int,
+    store: Optional[ScoreStore] = None,
 ) -> None:
     """Recursive body of Algorithm 1, growing the tree in place."""
-    binning = formulation.effective_binning
+    binning = resolve_binning(formulation)
     partition = node.partition
 
     if not attributes:
@@ -165,7 +235,7 @@ def _quantify_node(
         # Splitting cannot yield two children of at least min_partition_size.
         return
 
-    current_histogram = partition.histogram(function, binning=binning)
+    current_histogram = partition.histogram(function, binning=binning, store=store)
     # currentAvg (Algorithm 1, line 4): the unfairness the local partitioning
     # {current} ∪ siblings exhibits, i.e. the aggregated pairwise distance
     # over that set of histograms.
@@ -182,6 +252,7 @@ def _quantify_node(
         siblings=sibling_histograms,
         counter=counter,
         min_partition_size=min_partition_size,
+        store=store,
     )
     if choice is None:
         return
@@ -189,7 +260,9 @@ def _quantify_node(
 
     # childrenAvg (Algorithm 1, line 8): the unfairness the local partitioning
     # would exhibit if current were replaced by its children.
-    child_histograms = [child.histogram(function, binning=binning) for child in children]
+    child_histograms = [
+        child.histogram(function, binning=binning, store=store) for child in children
+    ]
     children_value = formulation.aggregate(
         pairwise_distances(child_histograms + list(sibling_histograms), formulation)
     )
@@ -218,6 +291,7 @@ def _quantify_node(
             max_depth,
             min_partition_size,
             depth + 1,
+            store=store,
         )
 
 
@@ -228,6 +302,9 @@ def quantify(
     attributes: Optional[Sequence[str]] = None,
     max_depth: Optional[int] = None,
     min_partition_size: int = 1,
+    *,
+    store: Optional[ScoreStore] = None,
+    materialize: bool = True,
 ) -> QuantifyResult:
     """Run the greedy QUANTIFY search (Algorithm 1) end to end.
 
@@ -249,6 +326,15 @@ def quantify(
         Minimum number of individuals a partition must keep for a split to
         be considered (1 reproduces the paper exactly; larger values avoid
         singleton groups on large noisy datasets).
+    store:
+        Optional :class:`~repro.core.scorestore.ScoreStore` to serve scores
+        and histograms from.  Pass the service layer's store to share one
+        scoring pass across requests over the same (dataset, function).
+    materialize:
+        When True (default) and no ``store`` is given, a private store is
+        created so the search scores each individual exactly once.  Set to
+        False to force the direct re-scoring path (the pre-materialization
+        behaviour, kept for benchmarking and debugging).
 
     Returns
     -------
@@ -269,7 +355,11 @@ def quantify(
 
     counter = _SplitCounter()
     root = PartitionNode(partition=root_partition(dataset))
-    binning = formulation.effective_binning
+    binning = resolve_binning(formulation)
+    if store is not None and not store.serves(function):
+        store = None  # built for a different function: never serve its scores
+    if store is None and materialize:
+        store = ScoreStore(dataset, function)
 
     # First invocation (paper §3.2): split the whole population on the most
     # unfair attribute, then run the recursive procedure once per resulting
@@ -282,6 +372,7 @@ def quantify(
         siblings=(),
         counter=counter,
         min_partition_size=min_partition_size,
+        store=store,
     )
     if first_choice is not None:
         attribute, children, _ = first_choice
@@ -289,7 +380,7 @@ def quantify(
         remaining = tuple(a for a in attributes if a != attribute)
         child_nodes = [root.add_child(PartitionNode(partition=child)) for child in children]
         child_histograms = [
-            child.histogram(function, binning=binning) for child in children
+            child.histogram(function, binning=binning, store=store) for child in children
         ]
         for index, child_node in enumerate(child_nodes):
             siblings = [h for i, h in enumerate(child_histograms) if i != index]
@@ -303,11 +394,14 @@ def quantify(
                 max_depth,
                 min_partition_size,
                 depth=1,
+                store=store,
             )
 
     tree = PartitionTree(root)
-    partitioning = tree.to_partitioning()
-    value = unfairness(partitioning, function, formulation)
+    # The tree was grown by recursive splits, so its leaves partition the
+    # population by construction; re-validating would re-walk every uid.
+    partitioning = tree.to_partitioning(validate=False)
+    value = unfairness(partitioning, function, formulation, store=store)
     return QuantifyResult(
         tree=tree,
         partitioning=partitioning,

@@ -1,0 +1,678 @@
+"""Compute-once score materialization for the partitioning hot paths.
+
+The QUANTIFY search (and everything layered on top of it — statistics boxes,
+breakdowns, audits, comparisons) repeatedly asks for the scores of *subsets*
+of one population under one scoring function: every candidate split, every
+tree node, every sibling histogram re-walks the same individuals.  The
+:class:`ScoreStore` removes that redundancy:
+
+* the **full score vector** of the store's dataset is computed exactly once
+  (one ``function.score_dataset`` pass) and every partition's scores are
+  derived from it by uid-index slicing — bit-for-bit identical to scoring the
+  partition directly, because each individual's score is a pure function of
+  its own row;
+* **histograms are memoised** keyed by ``(partition.key, binning)`` — the
+  scoring function is fixed per store, and the service layer keys whole
+  stores by ``(dataset fingerprint, function fingerprint)``, so the
+  composite identity of a cached histogram is
+  ``(dataset, function, partition, binning)`` as the paper's interactive
+  workload demands.  Counts come from one ``searchsorted`` pass over the
+  full vector per binning plus a ``bincount`` per partition, verified
+  bin-for-bin identical to :func:`~repro.metrics.histogram.build_histogram`;
+* **splits are index operations**: protected columns are integer-coded once,
+  so splitting a partition on an attribute is a vectorised comparison over
+  its row indices instead of a Python group-by, and the children's member
+  datasets materialise lazily — a losing candidate split never builds its
+  row tuples at all;
+* the memo is **bounded** (LRU over partitions) so a long-lived service
+  store cannot grow without limit, and every counter needed to audit the
+  layer (scoring passes, slices, fallbacks, hits/misses/evictions) is
+  exposed as an immutable :class:`ScoreStoreStats` snapshot.
+
+A store only answers for partitions drawn from its own dataset.  Partitions
+whose members cannot be mapped onto the store's rows (e.g. an anonymised
+copy whose individuals were rewritten) fall back to direct scoring, so the
+store is always safe to pass down a pipeline.
+
+Thread safety: all mutation happens under one lock; score vectors, codes and
+histogram values are immutable once published, so concurrent readers (the
+service batch executor) can share one store.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple
+from weakref import WeakKeyDictionary
+
+import numpy as np
+
+from repro.data.dataset import Dataset, Individual, order_values
+from repro.data.schema import Attribute
+from repro.metrics.histogram import Binning, Histogram, build_histogram
+from repro.scoring.base import ScoringFunction, frozen_scores
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.core.partition import Partition
+
+__all__ = ["ScoreStore", "ScoreStoreStats"]
+
+#: Default bound on memoised partitions per store.  A QUANTIFY search over a
+#: 10k-row population touches a couple of thousand candidate partitions; the
+#: default leaves headroom while keeping a long-lived service store bounded.
+DEFAULT_MAX_PARTITIONS = 8192
+
+#: Process-wide integer codings of protected columns, shared by every store
+#: over the same dataset object (codes are function-independent).  Weakly
+#: keyed so a dropped dataset releases its codes.
+_dataset_codes: "WeakKeyDictionary[Dataset, Dict[str, tuple]]" = WeakKeyDictionary()
+_dataset_codes_lock = threading.Lock()
+
+
+@dataclass(frozen=True)
+class ScoreStoreStats:
+    """Immutable snapshot of one store's effectiveness counters.
+
+    ``scoring_passes`` counts invocations of ``function.score_dataset`` —
+    ideally exactly 1 (the materialization pass); ``fallback_scorings``
+    counts partitions that could not be sliced and were scored directly.
+    """
+
+    scoring_passes: int = 0
+    sliced_partitions: int = 0
+    fallback_scorings: int = 0
+    histogram_hits: int = 0
+    histogram_misses: int = 0
+    evictions: int = 0
+
+    @property
+    def histogram_requests(self) -> int:
+        return self.histogram_hits + self.histogram_misses
+
+    @property
+    def histogram_hit_rate(self) -> float:
+        """Fraction of histogram requests served from the memo."""
+        total = self.histogram_requests
+        return self.histogram_hits / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "scoring_passes": self.scoring_passes,
+            "sliced_partitions": self.sliced_partitions,
+            "fallback_scorings": self.fallback_scorings,
+            "histogram_hits": self.histogram_hits,
+            "histogram_misses": self.histogram_misses,
+            "evictions": self.evictions,
+            "histogram_hit_rate": round(self.histogram_hit_rate, 4),
+        }
+
+    def describe(self) -> str:
+        return (
+            f"{self.scoring_passes} scoring pass(es), "
+            f"{self.sliced_partitions} sliced / {self.fallback_scorings} fallback, "
+            f"histograms {self.histogram_hits} hits / {self.histogram_misses} misses "
+            f"({self.histogram_hit_rate:.0%}), {self.evictions} evictions"
+        )
+
+
+class _SlicedDataset(Dataset):
+    """A Dataset defined by row indices into a base dataset, materialised lazily.
+
+    The score store's splits produce one of these per child partition: the
+    length (all a losing candidate split ever needs) is known immediately,
+    while the actual row tuple is only built when a consumer — the final
+    partitioning's validation, a renderer, a fallback scorer — iterates it.
+    """
+
+    def __init__(
+        self, base: Dataset, rows: Tuple[Individual, ...], indices: np.ndarray, name: str
+    ) -> None:
+        # Deliberately does not call Dataset.__init__: rows are already
+        # validated (they are the base dataset's own), and materialising the
+        # member tuple is deferred until something iterates it.
+        self.schema = base.schema
+        self.name = name
+        self._base_rows = rows
+        self._slice_indices = indices
+
+    @property
+    def _individuals(self) -> Tuple[Individual, ...]:  # type: ignore[override]
+        materialized = self.__dict__.get("_materialized")
+        if materialized is None:
+            rows = self._base_rows
+            materialized = tuple(rows[index] for index in self._slice_indices.tolist())
+            self.__dict__["_materialized"] = materialized
+        return materialized
+
+    def __len__(self) -> int:
+        return len(self._slice_indices)
+
+    def __bool__(self) -> bool:
+        return len(self._slice_indices) > 0
+
+
+class _Entry:
+    """Per-partition store entry: row indices, lazy scores, histogram memos.
+
+    ``candidates`` memoises the outcome of candidate-split evaluation —
+    ``(attribute, binning) -> (ordered values, child sizes, child
+    histograms)`` — so re-running a search under a different formulation
+    with the same binning reuses the whole per-split histogram batch.
+    """
+
+    __slots__ = ("indices", "owner", "scores", "histograms", "candidates", "bin_slices")
+
+    def __init__(self, indices: Optional[np.ndarray], owner: Optional[Dataset] = None) -> None:
+        self.indices = indices
+        # For fallback entries (indices None) the exact members object the
+        # entry answers for; mapped entries are validated via their indices.
+        self.owner = owner
+        self.scores: Optional[np.ndarray] = None
+        self.histograms: Dict[Binning, Histogram] = {}
+        self.candidates: Dict[
+            Tuple[str, Binning],
+            Tuple[Tuple[object, ...], Tuple[int, ...], Tuple[Histogram, ...]],
+        ] = {}
+        # binning -> this partition's slice of the per-row bin codes, shared
+        # by every candidate attribute evaluated at this node.
+        self.bin_slices: Dict[Binning, np.ndarray] = {}
+
+
+class ScoreStore:
+    """Materialized score vector + histogram memo for one (dataset, function).
+
+    Parameters
+    ----------
+    dataset:
+        The root population.  Every partition handed to the store should be
+        drawn from this dataset (subsets produced by splitting/filtering it).
+    function:
+        The scoring function whose scores are materialized.
+    max_partitions:
+        LRU bound on the number of distinct partitions whose indices, scores
+        and histograms are memoised; ``None`` disables the bound.
+    trust_uids:
+        When False (default), a partition is sliced only if its member
+        *objects* are the store dataset's own rows — the safe setting for
+        ad-hoc stores.  The service layer keys stores by content fingerprint
+        and sets True, so content-identical datasets rebuilt between
+        requests (re-filtered copies, re-parsed uploads) still share one
+        scoring pass via uid mapping.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        function: ScoringFunction,
+        max_partitions: Optional[int] = DEFAULT_MAX_PARTITIONS,
+        trust_uids: bool = False,
+    ) -> None:
+        if max_partitions is not None and max_partitions < 1:
+            raise ValueError(f"max_partitions must be >= 1, got {max_partitions}")
+        self.dataset = dataset
+        self.function = function
+        self.max_partitions = max_partitions
+        self.trust_uids = trust_uids
+        self._lock = threading.RLock()
+        self._vector: Optional[np.ndarray] = None
+        self._row_index: Optional[Dict[str, int]] = None
+        self._rows: Tuple[Individual, ...] = dataset.individuals
+        self._partitions: "OrderedDict[object, _Entry]" = OrderedDict()
+        # attribute name -> (per-row codes, code -> value, value -> code,
+        # code -> member-dataset name suffix); see _attribute_codes.
+        self._codes: Dict[
+            str, Tuple[np.ndarray, Tuple[object, ...], Dict[object, int], Tuple[str, ...]]
+        ] = {}
+        # attribute name -> canonical full ordering of its values
+        self._ordered: Dict[str, Tuple[object, ...]] = {}
+        # binning -> per-row bin index (for bincount-based histograms)
+        self._bin_codes: Dict[Binning, np.ndarray] = {}
+        self._scoring_passes = 0
+        self._sliced_partitions = 0
+        self._fallback_scorings = 0
+        self._histogram_hits = 0
+        self._histogram_misses = 0
+        self._evictions = 0
+        # Functions (beyond self.function) verified fingerprint-equal, so
+        # repeated serves() checks are an identity lookup.
+        self._accepted_functions: Dict[ScoringFunction, bool] = {}
+        self._own_fingerprint: Optional[str] = None
+
+    def serves(self, function: ScoringFunction) -> bool:
+        """Whether this store's materialized scores are valid for ``function``.
+
+        True for the store's own function object, and for distinct objects
+        that prove content equality via the ``fingerprint()`` protocol (the
+        service pool hands out stores keyed by fingerprint, so a rebuilt but
+        identical scorer must still be served).  Callers that receive False
+        fall back to direct scoring — sharing a store across *different*
+        functions must never silently serve the wrong scores.
+        """
+        if function is self.function:
+            return True
+        with self._lock:
+            accepted = self._accepted_functions.get(function)
+        if accepted is not None:
+            return accepted
+        try:
+            own = self._own_fingerprint
+            if own is None:
+                own = str(self.function.fingerprint())
+            matches = str(function.fingerprint()) == own
+        except NotImplementedError:
+            return False
+        with self._lock:
+            self._own_fingerprint = own
+            if len(self._accepted_functions) >= 16:
+                self._accepted_functions.pop(next(iter(self._accepted_functions)))
+            self._accepted_functions[function] = matches
+        return matches
+
+    # -- the materialized vector ----------------------------------------------
+
+    def vector(self) -> np.ndarray:
+        """The full, read-only score vector of the store's dataset (row order).
+
+        Computed lazily, exactly once; every subsequent partition score is a
+        slice of this array.  The fast path is lock-free: the vector is
+        immutable once published, so a plain read is safe under the GIL.
+        """
+        vector = self._vector
+        if vector is not None:
+            return vector
+        with self._lock:
+            if self._vector is None:
+                self._vector = frozen_scores(self.function, self.dataset)
+                self._scoring_passes += 1
+            return self._vector
+
+    def _row_index_map(self) -> Dict[str, int]:
+        """uid -> row position, built lazily (only uid-mapped partitions need it)."""
+        index = self._row_index
+        if index is not None:
+            return index
+        with self._lock:
+            if self._row_index is None:
+                self._row_index = {
+                    individual.uid: position for position, individual in enumerate(self._rows)
+                }
+            return self._row_index
+
+    def _indices_for(self, partition: "Partition") -> Optional[np.ndarray]:
+        """Row indices of the partition's members, or None if unmappable."""
+        return self._indices_for_members(partition.members)
+
+    def _indices_for_members(self, members: Dataset) -> Optional[np.ndarray]:
+        if members is self.dataset:
+            return np.arange(len(self._rows), dtype=np.intp)
+        if isinstance(members, _SlicedDataset) and members._base_rows is self._rows:
+            return members._slice_indices
+        row_index = self._row_index_map()
+        rows = self._rows
+        indices = np.empty(len(members), dtype=np.intp)
+        for position, member in enumerate(members):
+            index = row_index.get(member.uid)
+            if index is None:
+                return None
+            if not self.trust_uids and rows[index] is not member:
+                return None
+            indices[position] = index
+        return indices
+
+    # -- partition-level access -------------------------------------------------
+
+    def scores(self, partition: "Partition") -> np.ndarray:
+        """Scores of the partition's members, sliced from the full vector.
+
+        Bit-for-bit identical to ``partition.members`` scored directly.  A
+        partition that cannot be mapped onto the store's rows is scored
+        directly (counted as a fallback) so callers never need to care.
+        """
+        vector = self.vector()
+        entry = self._entry(partition)
+        with self._lock:
+            values = entry.scores
+            if values is None:
+                if entry.indices is None:
+                    values = frozen_scores(self.function, partition.members)
+                elif partition.members is self.dataset:
+                    values = vector  # the root partition: the full vector itself
+                else:
+                    values = vector[entry.indices]
+                    values.setflags(write=False)
+                entry.scores = values
+            return values
+
+    def histogram(self, partition: "Partition", binning: Optional[Binning] = None) -> Histogram:
+        """Memoised score histogram of the partition over ``binning``.
+
+        The memo key is ``(partition.key, binning)``; the same partition
+        re-requested under the same binning (candidate splits, sibling sets,
+        statistics boxes) is a hit.  Counts are produced by ``bincount`` over
+        precomputed per-row bin indices — identical to
+        :func:`~repro.metrics.histogram.build_histogram` on the same scores.
+        """
+        if binning is None:
+            binning = Binning.unit()
+        entry = self._entry(partition)
+        with self._lock:
+            cached = entry.histograms.get(binning)
+            if cached is not None:
+                self._histogram_hits += 1
+                return cached
+            self._histogram_misses += 1
+        if entry.indices is None:
+            histogram = build_histogram(self.scores(partition), binning=binning)
+        else:
+            codes = self._bin_codes_for(binning)
+            # minlength covers the NaN sentinel bin; the slice discards it.
+            counts = np.bincount(codes[entry.indices], minlength=binning.bins)
+            histogram = Histogram(
+                binning=binning, counts=tuple(int(c) for c in counts[: binning.bins])
+            )
+        with self._lock:
+            return entry.histograms.setdefault(binning, histogram)
+
+    def statistics(self, partition: "Partition") -> Dict[str, float]:
+        """Summary statistics of the partition (mirrors ``Partition.statistics``)."""
+        values = self.scores(partition)
+        if values.size == 0:
+            return {"size": 0, "mean": 0.0, "min": 0.0, "max": 0.0, "std": 0.0}
+        return {
+            "size": int(values.size),
+            "mean": float(values.mean()),
+            "min": float(values.min()),
+            "max": float(values.max()),
+            "std": float(values.std()),
+        }
+
+    # -- index-based splitting ---------------------------------------------------
+
+    def candidate_split(
+        self, partition: "Partition", attr: Attribute, binning: Binning
+    ) -> Optional[Tuple[Tuple[object, ...], Tuple[int, ...], Tuple[Histogram, ...]]]:
+        """Evaluate splitting ``partition`` on ``attr`` without materialising it.
+
+        Returns ``(ordered child values, child sizes, child histograms)`` —
+        everything the greedy search needs to *score* a candidate split — or
+        None when the partition cannot be mapped onto the store's rows.  The
+        histograms come from one two-dimensional ``bincount`` over the
+        partition's rows (value code × bin code), bit-identical to building
+        each child and histogramming it, but with no per-child Python work;
+        only the winning attribute ever becomes real :class:`Partition`
+        objects (via :meth:`split`).  Results are memoised per
+        ``(partition, attribute, binning)``.
+        """
+        entry = self._entry(partition)
+        indices = entry.indices
+        if indices is None:
+            return None
+        memo_key = (attr.name, binning)
+        with self._lock:
+            cached = entry.candidates.get(memo_key)
+            if cached is not None:
+                self._histogram_hits += len(cached[2])
+                return cached
+        codes, decode, encode, _ = self._attribute_codes(attr.name)
+        ordered_all = self._ordered_values(attr)
+        # Stride bins + 1: bin codes include the NaN sentinel ``bins``, which
+        # must not spill into the next value's bin 0.
+        stride = binning.bins + 1
+        sub = codes[indices]
+        bin_sub = entry.bin_slices.get(binning)
+        if bin_sub is None:
+            bin_sub = self._bin_codes_for(binning)[indices]
+            entry.bin_slices[binning] = bin_sub
+        counts = np.bincount(sub * stride + bin_sub, minlength=len(decode) * stride)
+        counts = counts.reshape(len(decode), stride)
+        # Sizes count members (including NaN-scored ones); histogram counts
+        # drop the sentinel column, matching build_histogram's NaN handling.
+        sizes = counts.sum(axis=1).tolist()
+        counts_list = counts[:, : binning.bins].tolist()
+        # order_values over a subset is a filter of the full ordering.
+        ordered = tuple(value for value in ordered_all if sizes[encode[value]])
+        child_sizes = []
+        histograms = []
+        for value in ordered:
+            code = encode[value]
+            child_sizes.append(sizes[code])
+            # Trusted construction: bincount rows are valid histogram counts
+            # by construction, so the dataclass validation is skipped.
+            histogram = object.__new__(Histogram)
+            object.__setattr__(histogram, "binning", binning)
+            object.__setattr__(histogram, "counts", tuple(counts_list[code]))
+            histograms.append(histogram)
+        result = (ordered, tuple(child_sizes), tuple(histograms))
+        with self._lock:
+            result = entry.candidates.setdefault(memo_key, result)
+            self._histogram_misses += len(result[2])
+            return result
+
+    def split(self, partition: "Partition", attr: Attribute) -> Optional[Tuple["Partition", ...]]:
+        """Children of ``partition`` split on ``attr``, via index operations.
+
+        Returns None when the partition cannot be mapped onto the store's
+        rows (the caller then falls back to the group-by path).  Children are
+        produced in the same order as :func:`~repro.core.partition.split_partition`
+        (declared domain order, else stable sorted), their member datasets
+        materialise lazily, and their store entries are pre-registered so the
+        subsequent histogram/score requests skip uid mapping entirely.
+        """
+        from repro.core.partition import Partition
+
+        entry = self._entry(partition)
+        indices = entry.indices
+        if indices is None:
+            return None
+        codes, decode, encode, suffixes = self._attribute_codes(attr.name)
+        sub = codes[indices]
+        present = {decode[code] for code in np.unique(sub).tolist()}
+        ordered = tuple(v for v in self._ordered_values(attr) if v in present)
+        children: List[Partition] = []
+        entries: List[Tuple[object, np.ndarray]] = []
+        base_name = partition.members.name
+        constraints = partition.constraints
+        attr_name = attr.name
+        for value in ordered:
+            code = encode[value]
+            child_indices = indices[sub == code]
+            members = _SlicedDataset(
+                self.dataset, self._rows, child_indices, name=base_name + suffixes[code]
+            )
+            # Fast construction: the dataclass __init__/__post_init__ only
+            # normalises and validates the constraints, which hold here by
+            # construction (the parent was valid and attr is new).
+            child = object.__new__(Partition)
+            object.__setattr__(child, "constraints", constraints + ((attr_name, value),))
+            object.__setattr__(child, "members", members)
+            children.append(child)
+            entries.append((child.key, child_indices))
+        with self._lock:
+            partitions = self._partitions
+            new_entries: List[_Entry] = []
+            for (key, child_indices), child in zip(entries, children):
+                child_entry = partitions.get(key)
+                if child_entry is None or not self._entry_matches(child_entry, child.members):
+                    child_entry = _Entry(child_indices)
+                    partitions[key] = child_entry
+                    self._sliced_partitions += 1
+                new_entries.append(child_entry)
+            # Seed the children's histogram memos from this partition's
+            # candidate-split batches (same attribute, any binning), so the
+            # winning split's histograms are never recomputed.
+            for (cand_attr, binning), (values, _, batch) in entry.candidates.items():
+                if cand_attr == attr.name and values == ordered:
+                    for child_entry, histogram in zip(new_entries, batch):
+                        child_entry.histograms.setdefault(binning, histogram)
+            self._evict_over_bound()
+        return tuple(children)
+
+    def _attribute_codes(
+        self, name: str
+    ) -> Tuple[np.ndarray, Tuple[object, ...], Dict[object, int], Tuple[str, ...]]:
+        """Integer-coded column for ``name`` (one Python pass per attribute).
+
+        Returns ``(per-row codes, code -> value, value -> code, code ->
+        member-dataset name suffix)``; entries are immutable once published,
+        so the fast path reads without the lock.  Codes depend only on the
+        dataset — not the scoring function — so they are shared across all
+        stores over the same dataset object via a process-wide weak cache
+        (an audit fanning out over many functions codes each column once).
+        """
+        cached = self._codes.get(name)
+        if cached is not None:
+            return cached
+        with _dataset_codes_lock:
+            shared = _dataset_codes.setdefault(self.dataset, {})
+            cached = shared.get(name)
+        if cached is None:
+            self.dataset.schema.attribute(name)
+            encode: Dict[object, int] = {}
+            codes = np.empty(len(self._rows), dtype=np.int64)
+            encode_get = encode.get
+            for position, individual in enumerate(self._rows):
+                value = individual.values[name]
+                code = encode_get(value)
+                if code is None:
+                    code = len(encode)
+                    encode[value] = code
+                codes[position] = code
+            codes.setflags(write=False)
+            # The same "/(value,)" suffix Dataset.group_by gives a group's name.
+            suffixes = tuple(f"/{(value,)}" for value in encode)
+            cached = (codes, tuple(encode), encode, suffixes)
+            with _dataset_codes_lock:
+                cached = shared.setdefault(name, cached)
+        with self._lock:
+            return self._codes.setdefault(name, cached)
+
+    def _ordered_values(self, attr: Attribute) -> Tuple[object, ...]:
+        """Canonical ordering of every value of ``attr`` in the dataset, cached.
+
+        ``order_values`` over any subset of an attribute's values is a filter
+        of this full ordering, so splits never re-sort.
+        """
+        cached = self._ordered.get(attr.name)
+        if cached is not None:
+            return cached
+        _, decode, _, _ = self._attribute_codes(attr.name)
+        cached = order_values(attr, decode)
+        with self._lock:
+            return self._ordered.setdefault(attr.name, cached)
+
+    def _bin_codes_for(self, binning: Binning) -> np.ndarray:
+        """Per-row bin index of the full vector under ``binning``, cached.
+
+        Matches ``np.histogram`` over explicit edges exactly: right-open bins
+        with the final edge inclusive, values clipped into range first, and
+        NaN scores dropped — they are assigned the sentinel code ``bins``,
+        which every consumer discards (histogram rows/columns beyond
+        ``bins - 1`` are sliced away).
+        """
+        cached = self._bin_codes.get(binning)
+        if cached is not None:
+            return cached
+        vector = self.vector()
+        edges = binning.edges
+        clipped = np.clip(vector, edges[0], edges[-1])
+        codes = np.searchsorted(edges, clipped, side="right") - 1
+        np.clip(codes, 0, binning.bins - 1, out=codes)
+        nan_rows = np.isnan(clipped)
+        if nan_rows.any():
+            codes[nan_rows] = binning.bins
+        codes.setflags(write=False)
+        with self._lock:
+            return self._bin_codes.setdefault(binning, codes)
+
+    # -- entry management --------------------------------------------------------
+
+    def _entry_matches(self, entry: _Entry, members: Dataset) -> bool:
+        """Whether a memoised entry really describes this partition's members.
+
+        Partition keys are constraint tuples, so partitions of *different*
+        datasets can share a key (e.g. every root partition has key ``()``).
+        Reusing another dataset's entry would silently serve wrong scores, so
+        every memo hit is validated — O(1) for partitions produced by this
+        store's own splits (the common case), O(members) only for foreign
+        objects that need uid re-mapping.
+        """
+        indices = entry.indices
+        if indices is None:
+            return entry.owner is members
+        if members is self.dataset:
+            return indices.size == len(self._rows)
+        if isinstance(members, _SlicedDataset) and members._base_rows is self._rows:
+            own = members._slice_indices
+            return own is indices or bool(np.array_equal(own, indices))
+        if len(members) != indices.size:
+            return False
+        remapped = self._indices_for_members(members)
+        return remapped is not None and bool(np.array_equal(remapped, indices))
+
+    def _entry(self, partition: "Partition") -> _Entry:
+        """The store entry for a partition, creating (and bounding) it once.
+
+        An existing entry under the same key that belongs to a *different*
+        population (see :meth:`_entry_matches`) is replaced rather than
+        reused.
+        """
+        self.vector()
+        key = partition.key
+        members = partition.members
+        with self._lock:
+            entry = self._partitions.get(key)
+            if entry is not None and self._entry_matches(entry, members):
+                self._partitions.move_to_end(key)
+                return entry
+        indices = self._indices_for(partition)
+        with self._lock:
+            entry = self._partitions.get(key)
+            if entry is None or not self._entry_matches(entry, members):
+                entry = _Entry(indices, owner=members if indices is None else None)
+                self._partitions[key] = entry
+                if indices is None:
+                    self._fallback_scorings += 1
+                else:
+                    self._sliced_partitions += 1
+                self._evict_over_bound()
+            else:
+                self._partitions.move_to_end(key)
+            return entry
+
+    def _evict_over_bound(self) -> None:
+        if self.max_partitions is not None:
+            while len(self._partitions) > self.max_partitions:
+                self._partitions.popitem(last=False)
+                self._evictions += 1
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def stats(self) -> ScoreStoreStats:
+        """A consistent snapshot of the counters."""
+        with self._lock:
+            return ScoreStoreStats(
+                scoring_passes=self._scoring_passes,
+                sliced_partitions=self._sliced_partitions,
+                fallback_scorings=self._fallback_scorings,
+                histogram_hits=self._histogram_hits,
+                histogram_misses=self._histogram_misses,
+                evictions=self._evictions,
+            )
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._partitions)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ScoreStore({self.dataset.name!r}, {self.function.name!r}, "
+            f"{self.stats.describe()})"
+        )
+
+    def __iter__(self) -> Iterator[object]:
+        """Iterate over the memoised partition keys (oldest first)."""
+        with self._lock:
+            return iter(list(self._partitions))

@@ -12,7 +12,7 @@ session layer renders and lets users click through.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.core.partition import Partition, Partitioning
 from repro.errors import PartitioningError
@@ -125,11 +125,17 @@ class PartitionTree:
 
     # -- conversion -------------------------------------------------------------
 
-    def to_partitioning(self) -> Partitioning:
-        """The full-disjoint partitioning formed by the tree's leaves."""
+    def to_partitioning(self, validate: bool = True) -> Partitioning:
+        """The full-disjoint partitioning formed by the tree's leaves.
+
+        ``validate=False`` skips the disjoint-cover check — safe when the
+        tree was grown by recursive splits (QUANTIFY does this), where the
+        leaves partition the population by construction.
+        """
         return Partitioning(
             dataset=self.root.partition.members,
             partitions=tuple(leaf.partition for leaf in self.leaves()),
+            validate=validate,
         )
 
     def summary(self) -> Dict[str, object]:

@@ -13,9 +13,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.formulations import Formulation, MOST_UNFAIR_AVG_EMD
-from repro.core.partition import Partition, Partitioning
-from repro.errors import PartitioningError
+from repro.core.formulations import Formulation, MOST_UNFAIR_AVG_EMD, resolve_binning
+from repro.core.partition import Partitioning
+from repro.core.scorestore import ScoreStore
 from repro.metrics.histogram import Binning, Histogram
 from repro.scoring.base import ScoringFunction
 
@@ -40,9 +40,17 @@ def _emd_scale(formulation: Formulation, bins: int) -> float:
 
 
 def _cdf_matrix(histograms: Sequence[Histogram]) -> np.ndarray:
-    """Stack histogram CDFs (without the final all-ones column) row-wise."""
-    stacked = np.vstack([histogram.normalized() for histogram in histograms])
-    return np.cumsum(stacked, axis=1)[:, :-1]
+    """Stack histogram CDFs (without the final all-ones column) row-wise.
+
+    Each histogram's CDF is cached on the histogram itself, so memoised
+    histograms (the score store serves the same objects to every sibling
+    set) pay for their cumulative sum once per search.
+    """
+    count = len(histograms)
+    matrix = np.empty((count, histograms[0].binning.bins - 1))
+    for row, histogram in enumerate(histograms):
+        matrix[row] = histogram.cdf()
+    return matrix
 
 
 def pairwise_distances(
@@ -52,8 +60,9 @@ def pairwise_distances(
     """All pairwise distances between the given histograms (i < j order).
 
     EMD-style distances use a vectorised closed form (L1 distance between
-    CDFs) so that the partitioning search stays interactive even when a node
-    has many children; other distances fall back to pairwise calls.
+    CDFs, from cached per-histogram CDFs) so that the partitioning search
+    stays interactive even when a node has many children; other distances
+    fall back to pairwise calls.
     """
     count = len(histograms)
     if count < 2:
@@ -64,7 +73,7 @@ def pairwise_distances(
         gaps = np.abs(cdfs[:, None, :] - cdfs[None, :, :]).sum(axis=2)
         scale = _emd_scale(formulation, bins)
         indices = np.triu_indices(count, k=1)
-        return [float(v) for v in gaps[indices] * scale]
+        return (gaps[indices] * scale).tolist()
     values: List[float] = []
     for i in range(count):
         for j in range(i + 1, count):
@@ -98,14 +107,20 @@ def unfairness(
     partitioning: Partitioning,
     function: ScoringFunction,
     formulation: Formulation = MOST_UNFAIR_AVG_EMD,
+    binning: Optional[Binning] = None,
+    store: Optional[ScoreStore] = None,
 ) -> float:
     """``unfairness(P, f)``: aggregated pairwise histogram distance over ``P``.
 
     A partitioning with a single partition has unfairness 0 (there are no
     pairs to compare), matching the convention of the paper's optimisation
     problem where at least two groups are needed for unequal treatment.
+    An explicit ``binning`` must agree with the formulation's (see
+    :func:`~repro.core.formulations.resolve_binning`); a ``store`` serves
+    the histograms from materialized scores.
     """
-    histograms = partitioning.histograms(function, binning=formulation.effective_binning)
+    effective = resolve_binning(formulation, binning)
+    histograms = partitioning.histograms(function, binning=effective, store=store)
     return formulation.aggregate(pairwise_distances(histograms, formulation))
 
 
@@ -168,15 +183,20 @@ def unfairness_breakdown(
     partitioning: Partitioning,
     function: ScoringFunction,
     formulation: Formulation = MOST_UNFAIR_AVG_EMD,
+    binning: Optional[Binning] = None,
+    store: Optional[ScoreStore] = None,
 ) -> UnfairnessBreakdown:
     """Compute unfairness plus the per-pair and per-partition detail.
 
     The breakdown backs the auditor's fairness report: which pair of groups
     is most separated, which group is most / least favoured (highest / lowest
-    mean score), and the individual pairwise distances.
+    mean score), and the individual pairwise distances.  The binning is
+    resolved through :func:`~repro.core.formulations.resolve_binning`, so it
+    always matches what ``quantify`` optimised; a ``store`` reuses the
+    search's materialized scores instead of re-scoring every partition.
     """
-    binning = formulation.effective_binning
-    histograms = partitioning.histograms(function, binning=binning)
+    effective = resolve_binning(formulation, binning)
+    histograms = partitioning.histograms(function, binning=effective, store=store)
     labels = partitioning.labels
 
     # pairwise_distances yields values in (i < j) order, matching
@@ -195,7 +215,7 @@ def unfairness_breakdown(
 
     mean_scores: Dict[str, float] = {}
     for partition, label in zip(partitioning, labels):
-        scores = partition.scores(function)
+        scores = partition.scores(function, store=store)
         mean_scores[label] = float(scores.mean()) if scores.size else 0.0
 
     return UnfairnessBreakdown(

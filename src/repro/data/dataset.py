@@ -17,10 +17,24 @@ from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Optional, 
 
 import numpy as np
 
-from repro.data.schema import Attribute, AttributeKind, AttributeType, Schema
+from repro.data.schema import Attribute, AttributeType, Schema
 from repro.errors import DataError, EmptyDatasetError, UnknownAttributeError
 
-__all__ = ["Individual", "Dataset"]
+__all__ = ["Individual", "Dataset", "order_values"]
+
+
+def order_values(attr: Attribute, present: Iterable[object]) -> Tuple[object, ...]:
+    """Canonical ordering of an attribute's distinct values.
+
+    Uses the declared domain order when available; otherwise a stable sorted
+    order (by string representation for mixed types).  This is the single
+    ordering contract shared by :meth:`Dataset.distinct_values` and the score
+    store's index-based splits, so both produce children in the same order.
+    """
+    present = set(present)
+    if attr.domain is not None and attr.atype is not AttributeType.NUMERIC:
+        return tuple(v for v in attr.domain if v in present)
+    return tuple(sorted(present, key=lambda v: (str(type(v)), str(v))))
 
 
 @dataclass(frozen=True)
@@ -210,14 +224,13 @@ class Dataset:
         types) so downstream algorithms are deterministic.
         """
         attr = self.schema.attribute(name)
-        present = set(self.column(name))
-        if attr.domain is not None and attr.atype is not AttributeType.NUMERIC:
-            return tuple(v for v in attr.domain if v in present)
-        return tuple(sorted(present, key=lambda v: (str(type(v)), str(v))))
+        return order_values(attr, self.column(name))
 
     # -- relational-ish operations ------------------------------------------
 
-    def filter(self, predicate: Callable[[Individual], bool], name: Optional[str] = None) -> "Dataset":
+    def filter(
+        self, predicate: Callable[[Individual], bool], name: Optional[str] = None
+    ) -> "Dataset":
         """Return a new dataset with only the individuals matching ``predicate``."""
         kept = tuple(ind for ind in self._individuals if predicate(ind))
         return Dataset(

@@ -11,7 +11,7 @@ declaratively (and to print them back to the user).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, Sequence, Tuple
+from typing import Iterable, Sequence, Tuple
 
 from repro.data.dataset import Dataset, Individual
 from repro.errors import UnknownAttributeError

@@ -75,7 +75,9 @@ _TABLE1_ROWS: List[Dict[str, object]] = [
 
 #: The paper's reported f(w) column, keyed by individual id (for tests and
 #: the Table 1 benchmark).
-TABLE1_PUBLISHED_SCORES: Dict[str, float] = {row["uid"]: row["f"] for row in _TABLE1_ROWS}  # type: ignore[index, misc]
+TABLE1_PUBLISHED_SCORES: Dict[str, float] = {
+    row["uid"]: row["f"] for row in _TABLE1_ROWS  # type: ignore[index, misc]
+}
 
 
 def table1_schema() -> Schema:

@@ -10,7 +10,7 @@ too few individuals per protected value for histograms to be meaningful.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 import numpy as np
 

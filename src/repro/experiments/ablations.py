@@ -21,7 +21,7 @@ into the same harness as the main experiments.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 import numpy as np
 
@@ -33,7 +33,6 @@ from repro.data.dataset import Dataset
 from repro.errors import ExperimentError
 from repro.roles.report import ReportTable
 from repro.scoring.base import ScoringFunction
-from repro.scoring.linear import LinearScoringFunction
 
 __all__ = [
     "ablate_bins",

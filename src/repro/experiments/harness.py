@@ -10,8 +10,8 @@ pytest-benchmark so runtimes are measured alongside the outputs.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
 
 from repro.errors import ExperimentError
 from repro.roles.report import ReportTable

@@ -11,9 +11,8 @@ bigger runs.
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import List, Sequence
 
-import numpy as np
 
 from repro.anonymize.kanonymity import GlobalRecodingAnonymizer, MondrianAnonymizer
 from repro.anonymize.metrics import information_loss
@@ -41,7 +40,6 @@ from repro.roles.report import ReportTable
 from repro.scoring.rank import RankDerivedScorer
 from repro.session.config import SessionConfig
 from repro.session.engine import FaiRankEngine
-from repro.session.render import render_tree
 
 __all__ = ["registry"]
 
@@ -89,7 +87,9 @@ def run_table1_example() -> List[ReportTable]:
 # ---------------------------------------------------------------------------
 
 
-@registry.register("E2", "Figure 2: partitioning of the example dataset with per-partition histograms")
+@registry.register(
+    "E2", "Figure 2: partitioning of the example dataset with per-partition histograms"
+)
 def run_figure2_partitioning(bins: int = 5) -> List[ReportTable]:
     dataset, function = table1_workload()
     formulation = Formulation(bins=bins)
@@ -139,7 +139,10 @@ def run_figure2_partitioning(bins: int = 5) -> List[ReportTable]:
 # ---------------------------------------------------------------------------
 
 
-@registry.register("E3", "Figure 1: end-to-end pipeline (dataset -> filter -> scoring -> optimisation -> panels)")
+@registry.register(
+    "E3",
+    "Figure 1: end-to-end pipeline (dataset -> filter -> scoring -> optimisation -> panels)",
+)
 def run_pipeline(size: int = 300, seed: int = 7) -> List[ReportTable]:
     from repro.data.filters import Equals
 
@@ -222,7 +225,9 @@ def run_greedy_vs_exhaustive(
                 ratio, greedy_time, exact_time,
                 exact_time / greedy_time if greedy_time > 0 else float("inf"),
             )
-    table.add_note("ratio = greedy unfairness / exact optimum (1.0 means the heuristic found the optimum)")
+    table.add_note(
+        "ratio = greedy unfairness / exact optimum (1.0 means the heuristic found the optimum)"
+    )
     return [table]
 
 
@@ -483,7 +488,9 @@ def run_scalability(
             elapsed = time.perf_counter() - start
             table.add_row(size, len(attributes), elapsed, len(result.partitioning),
                           result.splits_evaluated, result.unfairness)
-    table.add_note("the paper's claim under test: the greedy heuristic keeps response time interactive")
+    table.add_note(
+        "the paper's claim under test: the greedy heuristic keeps response time interactive"
+    )
     return [table]
 
 
@@ -492,7 +499,9 @@ def run_scalability(
 # ---------------------------------------------------------------------------
 
 
-@registry.register("E12", "Subgroup search vs single-attribute baseline on planted intersectional bias")
+@registry.register(
+    "E12", "Subgroup search vs single-attribute baseline on planted intersectional bias"
+)
 def run_subgroup_vs_predefined(
     size: int = 400,
     seed: int = 7,

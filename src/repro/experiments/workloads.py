@@ -7,16 +7,15 @@ benchmark harness, the tests and EXPERIMENTS.md all talk about the same data.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.data.dataset import Dataset
 from repro.data.loaders import TABLE1_WEIGHTS, load_example_table1
 from repro.errors import ExperimentError
 from repro.marketplace.bias import BiasSpec
-from repro.marketplace.crawler import MarketplaceCrawler, available_platforms
+from repro.marketplace.crawler import MarketplaceCrawler
 from repro.marketplace.entities import Job, Marketplace
-from repro.marketplace.generator import CrowdsourcingGenerator, default_population_spec
+from repro.marketplace.generator import CrowdsourcingGenerator
 from repro.scoring.linear import LinearScoringFunction
 
 __all__ = [

@@ -11,7 +11,7 @@ should grow with the planted gap.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
@@ -107,7 +107,9 @@ def apply_bias(
             if not spec.matches(individual):
                 continue
             for attr, shift in spec.shifts:
-                current = updates.get(attr, float(individual.values[attr]))  # type: ignore[arg-type]
+                current = updates.get(
+                    attr, float(individual.values[attr])  # type: ignore[arg-type]
+                )
                 updates[attr] = current + shift
         if updates:
             clamped = {attr: float(np.clip(value, low, high)) for attr, value in updates.items()}

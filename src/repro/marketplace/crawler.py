@@ -18,14 +18,13 @@ attribute schemas across platforms, per-job scoring functions, and realistic
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Tuple
 
 import numpy as np
 
 from repro.data.dataset import Dataset, Individual
-from repro.data.filters import Equals, OneOf
-from repro.data.schema import AttributeType, Schema, observed, protected
+from repro.data.schema import Schema, observed, protected
 from repro.errors import MarketplaceError
 from repro.marketplace.bias import BiasSpec, apply_bias
 from repro.marketplace.entities import Job, Marketplace
@@ -84,7 +83,8 @@ def _taskrabbit_profile() -> PlatformProfile:
         ),
         job_templates=(
             ("Furniture assembly", {"Handyman Skill": 0.6, "Rating": 0.4}, False),
-            ("Apartment moving", {"Moving Skill": 0.5, "Rating": 0.3, "Completed Tasks": 0.2}, False),
+            ("Apartment moving",
+             {"Moving Skill": 0.5, "Rating": 0.3, "Completed Tasks": 0.2}, False),
             ("Home repairs", {"Handyman Skill": 0.5, "Completed Tasks": 0.3, "Rating": 0.2}, True),
             ("Installing wood panels", {"Handyman Skill": 0.7, "Rating": 0.3}, False),
         ),
@@ -115,7 +115,8 @@ def _fiverr_profile() -> PlatformProfile:
         job_templates=(
             ("Logo design", {"Design Skill": 0.6, "Rating": 0.4}, False),
             ("Blog writing", {"Writing Skill": 0.5, "Rating": 0.3, "Response Rate": 0.2}, False),
-            ("Web scraping script", {"Coding Skill": 0.6, "Rating": 0.2, "Response Rate": 0.2}, False),
+            ("Web scraping script",
+             {"Coding Skill": 0.6, "Rating": 0.2, "Response Rate": 0.2}, False),
             ("Write code for a web app", {"Coding Skill": 0.7, "Rating": 0.3}, True),
             ("Translate a document", {"Writing Skill": 0.6, "Response Rate": 0.4}, False),
         ),
@@ -146,7 +147,8 @@ def _qapa_profile() -> PlatformProfile:
         job_templates=(
             ("Installing wood panels", {"Manual Skill": 0.7, "Experience Score": 0.3}, False),
             ("Warehouse operator", {"Manual Skill": 0.5, "Experience Score": 0.5}, False),
-            ("Customer support", {"French Test": 0.6, "Diploma Level": 0.2, "Experience Score": 0.2}, True),
+            ("Customer support",
+             {"French Test": 0.6, "Diploma Level": 0.2, "Experience Score": 0.2}, True),
             ("Delivery driver", {"Experience Score": 0.6, "Manual Skill": 0.4}, False),
         ),
     )
@@ -256,6 +258,8 @@ class MarketplaceCrawler:
             values: Dict[str, object] = {}
             for attribute in schema.names:
                 raw = columns[attribute][index]
-                values[attribute] = float(raw) if schema.attribute(attribute).is_observed else str(raw)
+                values[attribute] = (
+                    float(raw) if schema.attribute(attribute).is_observed else str(raw)
+                )
             individuals.append(Individual(uid=f"{profile.name}-w{index + 1}", values=values))
         return Dataset(schema, individuals, name=f"{profile.name}-crawl", validate=False)

@@ -12,7 +12,7 @@ treat a given group for a given job.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, Optional, Tuple
 
 from repro.data.dataset import Dataset
 from repro.data.filters import Filter, TrueFilter, apply_filter

@@ -18,7 +18,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.data.dataset import Dataset, Individual
-from repro.data.schema import Attribute, AttributeKind, AttributeType, Schema, observed, protected
+from repro.data.schema import Attribute, AttributeType, Schema, observed, protected
 from repro.errors import MarketplaceError
 from repro.marketplace.bias import BiasSpec, apply_bias
 

@@ -10,13 +10,13 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List
 
 import numpy as np
 
 from repro.data.dataset import Dataset
 from repro.errors import MarketplaceError
-from repro.marketplace.entities import Job, Marketplace
+from repro.marketplace.entities import Marketplace
 from repro.scoring.base import Ranking
 
 __all__ = [
@@ -86,7 +86,9 @@ def exposure_by_group(ranking: Ranking, dataset: Dataset, attribute: str) -> Dic
     return {group: value / total for group, value in exposures.items()}
 
 
-def top_k_share(ranking: Ranking, dataset: Dataset, attribute: str, k: int = 10) -> Dict[str, float]:
+def top_k_share(
+    ranking: Ranking, dataset: Dataset, attribute: str, k: int = 10
+) -> Dict[str, float]:
     """Fraction of the top-k positions occupied by each group."""
     if k < 1:
         raise MarketplaceError(f"top-k share needs k >= 1, got {k}")

@@ -137,17 +137,17 @@ def emd_matrix(
         for a_index in range(len(nonzero)):
             i, j = nonzero[a_index]
             for b_index in range(a_index + 1, len(nonzero)):
-                k, l = nonzero[b_index]
-                if i == k or j == l:
+                k, m = nonzero[b_index]
+                if i == k or j == m:
                     continue
-                delta = (cost_matrix[i, l] + cost_matrix[k, j]) - (
-                    cost_matrix[i, j] + cost_matrix[k, l]
+                delta = (cost_matrix[i, m] + cost_matrix[k, j]) - (
+                    cost_matrix[i, j] + cost_matrix[k, m]
                 )
                 if delta < -1e-12:
-                    moved = min(flows[i, j], flows[k, l])
+                    moved = min(flows[i, j], flows[k, m])
                     flows[i, j] -= moved
-                    flows[k, l] -= moved
-                    flows[i, l] += moved
+                    flows[k, m] -= moved
+                    flows[i, m] += moved
                     flows[k, j] += moved
                     total_cost += moved * delta
                     improved = True

@@ -52,12 +52,23 @@ class Binning:
 
     @property
     def edges(self) -> np.ndarray:
-        """Bin edges (length ``bins + 1``)."""
+        """Bin edges (length ``bins + 1``).
+
+        Cached (binnings are immutable): the partitioning search asks for the
+        same edges thousands of times per run.
+        """
+        cached = getattr(self, "_edges_cache", None)
+        if cached is not None:
+            return cached
         if self.high == self.low:
             # Degenerate range: widen slightly so np.histogram keeps all mass
             # in the single sensible bin rather than erroring out.
-            return np.linspace(self.low - 0.5, self.low + 0.5, self.bins + 1)
-        return np.linspace(self.low, self.high, self.bins + 1)
+            edges = np.linspace(self.low - 0.5, self.low + 0.5, self.bins + 1)
+        else:
+            edges = np.linspace(self.low, self.high, self.bins + 1)
+        edges.setflags(write=False)
+        object.__setattr__(self, "_edges_cache", edges)
+        return edges
 
     @property
     def centers(self) -> np.ndarray:
@@ -141,6 +152,22 @@ class Histogram:
         normalized.setflags(write=False)
         object.__setattr__(self, "_normalized_cache", normalized)
         return normalized
+
+    def cdf(self) -> np.ndarray:
+        """Cumulative distribution over the bins, without the final all-ones bin.
+
+        This is the quantity the vectorised EMD fast path compares; it is
+        cached (histograms are immutable) so memoised histograms amortise the
+        cumulative sum across the thousands of pairwise distances one
+        partitioning search evaluates.
+        """
+        cached = getattr(self, "_cdf_cache", None)
+        if cached is not None:
+            return cached
+        cdf = np.cumsum(self.normalized())[:-1]
+        cdf.setflags(write=False)
+        object.__setattr__(self, "_cdf_cache", cdf)
+        return cdf
 
     def mean_score(self) -> float:
         """Approximate mean score using bin centres (for statistics panels)."""

@@ -17,12 +17,14 @@ attributes) and reduced function transparency (rank-only histograms).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.anonymize.kanonymity import GlobalRecodingAnonymizer
 from repro.core.formulations import Formulation, MOST_UNFAIR_AVG_EMD
 from repro.core.quantify import QuantifyResult, quantify
+from repro.core.scorestore import ScoreStore
 from repro.core.unfairness import unfairness_breakdown
+from repro.data.dataset import Dataset
 from repro.errors import MarketplaceError
 from repro.marketplace.entities import Job, Marketplace
 from repro.roles.report import ReportTable
@@ -119,6 +121,12 @@ class Auditor:
     min_partition_size:
         Minimum partition size passed to QUANTIFY (avoids singleton groups
         when auditing large crawls).
+    store_provider:
+        Optional callable ``(dataset, function) -> ScoreStore`` supplying the
+        score store each audit runs against.  The service layer passes its
+        fingerprint-keyed pool here, so a marketplace-wide audit fan-out
+        shares materialized scoring passes across requests; without one,
+        every audit builds its own private store.
     """
 
     def __init__(
@@ -126,10 +134,17 @@ class Auditor:
         formulation: Formulation = MOST_UNFAIR_AVG_EMD,
         attributes: Optional[Sequence[str]] = None,
         min_partition_size: int = 1,
+        store_provider: Optional[Callable[[Dataset, ScoringFunction], ScoreStore]] = None,
     ) -> None:
         self.formulation = formulation
         self.attributes = tuple(attributes) if attributes is not None else None
         self.min_partition_size = min_partition_size
+        self.store_provider = store_provider
+
+    def _store_for(self, dataset: Dataset, function: ScoringFunction) -> Optional[ScoreStore]:
+        if self.store_provider is None:
+            return None
+        return self.store_provider(dataset, function)
 
     # -- single-job audit --------------------------------------------------
 
@@ -142,14 +157,18 @@ class Auditor:
             function = RankDerivedScorer(
                 function.reveal_ranking(candidates), name=f"{job.title}-from-ranks"
             )
+        store = self._store_for(candidates, function)
         result = quantify(
             candidates,
             function,
             formulation=self.formulation,
             attributes=self.attributes,
             min_partition_size=self.min_partition_size,
+            store=store,
         )
-        breakdown = unfairness_breakdown(result.partitioning, function, self.formulation)
+        breakdown = unfairness_breakdown(
+            result.partitioning, function, self.formulation, store=store
+        )
         return JobAudit(
             job_title=job.title,
             transparent_function=job.is_transparent,

@@ -17,18 +17,17 @@ out as disadvantaged.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.formulations import Formulation, MOST_UNFAIR_AVG_EMD
-from repro.core.partition import Partition, Partitioning
 from repro.core.quantify import quantify
 from repro.data.dataset import Dataset
 from repro.data.filters import And, Equals, Filter
 from repro.errors import MarketplaceError
-from repro.marketplace.entities import Job, Marketplace
+from repro.marketplace.entities import Marketplace
 from repro.metrics.histogram import build_histogram
 from repro.roles.report import ReportTable
 from repro.scoring.base import ScoringFunction

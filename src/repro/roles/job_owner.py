@@ -16,14 +16,14 @@ variant that best satisfies the owner's fairness objective (by default the
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.formulations import Formulation, MOST_UNFAIR_AVG_EMD
 from repro.core.quantify import QuantifyResult, quantify
 from repro.core.unfairness import unfairness_breakdown
 from repro.data.dataset import Dataset
 from repro.errors import MarketplaceError, ScoringError
-from repro.marketplace.entities import Job, Marketplace
+from repro.marketplace.entities import Marketplace
 from repro.roles.report import ReportTable
 from repro.scoring.library import weight_sweep
 from repro.scoring.linear import LinearScoringFunction

@@ -10,7 +10,7 @@ show on screen).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Sequence
 
 __all__ = ["ReportTable", "format_table"]
 

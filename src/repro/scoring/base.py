@@ -23,7 +23,20 @@ import numpy as np
 from repro.data.dataset import Dataset, Individual
 from repro.errors import ScoringError
 
-__all__ = ["ScoringFunction", "Ranking", "rank_by_score"]
+__all__ = ["ScoringFunction", "Ranking", "rank_by_score", "frozen_scores"]
+
+
+def frozen_scores(function: "ScoringFunction", dataset: "Dataset") -> np.ndarray:
+    """Score ``dataset`` and return a private, read-only float vector.
+
+    The copy matters: a scorer may return (a view of) its own reusable
+    buffer, which a cache must neither freeze nor alias.  Every score memo
+    (``Partition.scores``, the score store) goes through this helper so the
+    aliasing rule lives in one place.
+    """
+    values = np.array(function.score_dataset(dataset), dtype=float)
+    values.setflags(write=False)
+    return values
 
 
 class ScoringFunction:

@@ -41,7 +41,8 @@ class ScoringLibrary:
             return self._functions[name]
         except KeyError:
             raise ScoringError(
-                f"unknown scoring function {name!r}; available: {', '.join(sorted(self._functions))}"
+                f"unknown scoring function {name!r}; "
+                f"available: {', '.join(sorted(self._functions))}"
             ) from None
 
     def __contains__(self, name: object) -> bool:

@@ -24,7 +24,7 @@ from repro.service.jobs import (
     ServiceResult,
     request_from_json,
 )
-from repro.service.service import CachedQuantify, FairnessService
+from repro.service.service import CachedQuantify, FairnessService, StorePoolStats
 
 __all__ = [
     "AuditRequest",
@@ -34,6 +34,7 @@ __all__ = [
     "CompareRequest",
     "FairnessService",
     "LRUCache",
+    "StorePoolStats",
     "QuantifyRequest",
     "ServiceRequest",
     "ServiceResult",

@@ -154,6 +154,11 @@ class LRUCache:
             self._entries.clear()
             self._total_cost = 0.0
 
+    def values(self) -> Tuple[object, ...]:
+        """Snapshot of the cached values, least recently used first."""
+        with self._lock:
+            return tuple(value for value, _ in self._entries.values())
+
     # -- memoisation ----------------------------------------------------------
 
     def get_or_compute(

@@ -144,7 +144,8 @@ def fingerprint_function(function: ScoringFunction) -> str:
     except Exception:
         return _digest(
             b"function-identity\x00"
-            + f"{type(function).__module__}.{type(function).__qualname__}:{id(function)}".encode("utf-8")
+            + f"{type(function).__module__}.{type(function).__qualname__}"
+              f":{id(function)}".encode("utf-8")
         )
     return _digest(b"function-pickle\x00" + blob)
 

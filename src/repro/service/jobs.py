@@ -117,7 +117,10 @@ class QuantifyRequest(_FormulationMixin):
             distance=str(payload.get("distance", "emd")),
             bins=int(payload.get("bins", DEFAULT_BINS)),  # type: ignore[arg-type]
             attributes=_optional_str_tuple(payload.get("attributes")),  # type: ignore[arg-type]
-            max_depth=None if payload.get("max_depth") is None else int(payload["max_depth"]),  # type: ignore[arg-type]
+            max_depth=(
+                None if payload.get("max_depth") is None
+                else int(payload["max_depth"])  # type: ignore[arg-type]
+            ),
             min_partition_size=int(payload.get("min_partition_size", 1)),  # type: ignore[arg-type]
             use_ranks_only=bool(payload.get("use_ranks_only", False)),
         )
@@ -202,13 +205,18 @@ class CompareRequest(_FormulationMixin):
     def from_json(cls, payload: Mapping[str, object]) -> "CompareRequest":
         return cls(
             dataset=str(payload["dataset"]),
-            functions=tuple(str(f) for f in payload.get("functions", ())),  # type: ignore[union-attr]
+            functions=tuple(
+                str(f) for f in payload.get("functions", ())  # type: ignore[union-attr]
+            ),
             objective=str(payload.get("objective", "most_unfair")),
             aggregation=str(payload.get("aggregation", "average")),
             distance=str(payload.get("distance", "emd")),
             bins=int(payload.get("bins", DEFAULT_BINS)),  # type: ignore[arg-type]
             attributes=_optional_str_tuple(payload.get("attributes")),  # type: ignore[arg-type]
-            max_depth=None if payload.get("max_depth") is None else int(payload["max_depth"]),  # type: ignore[arg-type]
+            max_depth=(
+                None if payload.get("max_depth") is None
+                else int(payload["max_depth"])  # type: ignore[arg-type]
+            ),
             min_partition_size=int(payload.get("min_partition_size", 1)),  # type: ignore[arg-type]
         )
 
@@ -255,6 +263,11 @@ class ServiceResult:
     serialises the semantic content — kind, key and payload, but *not* the
     serving metadata — with sorted keys, so two results are byte-comparable
     regardless of whether they were computed, cached, or ran in a batch.
+
+    ``store_stats`` is serving metadata too: a snapshot of the service's
+    score-store pool (materialized scoring passes, histogram hits/misses,
+    store reuse) taken when the response was assembled, so clients can watch
+    the compute-once layer work without a separate monitoring call.
     """
 
     kind: str
@@ -262,6 +275,7 @@ class ServiceResult:
     payload: Dict[str, Any] = field(default_factory=dict)
     cached: bool = False
     elapsed_s: float = 0.0
+    store_stats: Optional[Dict[str, Any]] = None
 
     def canonical(self) -> str:
         """Deterministic JSON of the semantic content (excludes metadata)."""
@@ -277,14 +291,19 @@ class ServiceResult:
             "payload": self.payload,
             "cached": self.cached,
             "elapsed_s": self.elapsed_s,
+            "store_stats": self.store_stats,
         }
 
     @classmethod
     def from_json(cls, payload: Mapping[str, object]) -> "ServiceResult":
+        store_stats = payload.get("store_stats")
         return cls(
             kind=str(payload["kind"]),
             key=str(payload["key"]),
             payload=dict(payload.get("payload", {})),  # type: ignore[arg-type]
             cached=bool(payload.get("cached", False)),
             elapsed_s=float(payload.get("elapsed_s", 0.0)),  # type: ignore[arg-type]
+            store_stats=(
+                None if store_stats is None else dict(store_stats)  # type: ignore[arg-type]
+            ),
         )

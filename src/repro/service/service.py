@@ -21,7 +21,7 @@ layer turns the library's pure functions into a servable engine:
 
 from __future__ import annotations
 
-import copy
+import marshal
 import time
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
@@ -29,6 +29,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 from repro.core.exhaustive import ExhaustiveResult, exhaustive_search
 from repro.core.formulations import Formulation, MOST_UNFAIR_AVG_EMD
 from repro.core.quantify import QuantifyResult, quantify
+from repro.core.scorestore import ScoreStore
 from repro.core.unfairness import UnfairnessBreakdown, unfairness_breakdown
 from repro.data.dataset import Dataset
 from repro.errors import ServiceError
@@ -56,7 +57,28 @@ from repro.service.jobs import (
     ServiceResult,
 )
 
-__all__ = ["CachedQuantify", "FairnessService"]
+__all__ = ["CachedQuantify", "FairnessService", "StorePoolStats"]
+
+
+def _copy_json(value):
+    """Deep copy of a plain-JSON tree (dict/list/scalars only).
+
+    Payloads are JSON-safe by construction, so this replaces
+    ``copy.deepcopy`` on the warm serving path — same privacy guarantee
+    (mutating a served payload never corrupts the cached value) without
+    deepcopy's per-object memo bookkeeping, which dominated warm latency.
+    ``marshal`` round-trips plain containers at C speed; anything it cannot
+    handle (it raises ``ValueError``) falls back to a recursive copy.
+    """
+    try:
+        return marshal.loads(marshal.dumps(value))
+    except ValueError:
+        pass
+    if isinstance(value, dict):
+        return {key: _copy_json(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_copy_json(item) for item in value]
+    return value
 
 
 @dataclass(frozen=True)
@@ -67,6 +89,59 @@ class CachedQuantify:
     breakdown: UnfairnessBreakdown
     key: str
     cached: bool
+
+
+@dataclass(frozen=True)
+class StorePoolStats:
+    """Snapshot of the service's score-store pool effectiveness.
+
+    ``hits``/``misses`` count store *lookups* (a hit means a later request
+    over the same (dataset, function) fingerprints reused an existing
+    materialized score vector); the scoring/histogram counters aggregate over
+    the live stores (evicted stores take their counters with them).
+    """
+
+    stores: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    scoring_passes: int = 0
+    sliced_partitions: int = 0
+    fallback_scorings: int = 0
+    histogram_hits: int = 0
+    histogram_misses: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of store lookups that reused a materialized vector."""
+        total = self.requests
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "stores": self.stores,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "scoring_passes": self.scoring_passes,
+            "sliced_partitions": self.sliced_partitions,
+            "fallback_scorings": self.fallback_scorings,
+            "histogram_hits": self.histogram_hits,
+            "histogram_misses": self.histogram_misses,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+    def describe(self) -> str:
+        return (
+            f"{self.stores} store(s), {self.hits} hits / {self.misses} misses "
+            f"({self.hit_rate:.0%} reuse), {self.scoring_passes} scoring pass(es), "
+            f"histograms {self.histogram_hits} hits / {self.histogram_misses} misses, "
+            f"{self.evictions} evictions"
+        )
 
 
 class FairnessService:
@@ -82,6 +157,9 @@ class FairnessService:
     cache:
         An externally owned :class:`~repro.service.cache.LRUCache`, e.g. to
         share one cache between several services or sessions.
+    max_stores:
+        Bound on the number of per-(dataset, function) score stores the
+        service keeps for cross-request reuse (LRU-evicted beyond it).
     """
 
     def __init__(
@@ -89,11 +167,18 @@ class FairnessService:
         cache_size: int = 256,
         max_cost: Optional[float] = None,
         cache: Optional[LRUCache] = None,
+        max_stores: int = 32,
     ) -> None:
+        if max_stores < 1:
+            raise ServiceError(f"max_stores must be >= 1, got {max_stores}")
         self._datasets: Dict[str, Dataset] = {}
         self._functions = ScoringLibrary()
         self._marketplaces: Dict[str, Marketplace] = {}
         self.cache = cache if cache is not None else LRUCache(cache_size, max_cost=max_cost)
+        self.max_stores = max_stores
+        # The store pool is itself an LRUCache: thread-safe LRU with
+        # hit/miss/eviction stats and single-flight store construction.
+        self._store_pool = LRUCache(max_stores)
 
     # -- registry -------------------------------------------------------------
 
@@ -162,6 +247,43 @@ class FairnessService:
     def cache_stats(self) -> CacheStats:
         return self.cache.stats
 
+    # -- score materialization (cross-request reuse) ---------------------------
+
+    def score_store(self, dataset: Dataset, function: ScoringFunction) -> ScoreStore:
+        """The shared :class:`~repro.core.scorestore.ScoreStore` for a pair.
+
+        Stores are keyed by *content* fingerprints, so an AUDIT or COMPARE
+        fan-out that re-runs searches over the same population and scoring
+        function — even via rebuilt, content-identical objects — shares one
+        materialized scoring pass.  The pool is LRU-bounded by ``max_stores``.
+        """
+        key = combine_fingerprints(
+            "score-store", fingerprint_dataset(dataset), fingerprint_function(function)
+        )
+        store, _ = self._store_pool.get_or_compute(
+            # Content-keyed, so uid-based slicing is safe for rebuilt copies.
+            key,
+            lambda: ScoreStore(dataset, function, trust_uids=True),
+        )
+        return store
+
+    @property
+    def store_stats(self) -> StorePoolStats:
+        """Aggregate effectiveness of the score-store pool (for monitoring)."""
+        pool = self._store_pool.stats
+        per_store = [store.stats for store in self._store_pool.values()]
+        return StorePoolStats(
+            stores=pool.entries,
+            hits=pool.hits,
+            misses=pool.misses,
+            evictions=pool.evictions,
+            scoring_passes=sum(s.scoring_passes for s in per_store),
+            sliced_partitions=sum(s.sliced_partitions for s in per_store),
+            fallback_scorings=sum(s.fallback_scorings for s in per_store),
+            histogram_hits=sum(s.histogram_hits for s in per_store),
+            histogram_misses=sum(s.histogram_misses for s in per_store),
+        )
+
     # -- cached kernels (object-level API) ------------------------------------
 
     def quantify_cached(
@@ -195,6 +317,7 @@ class FairnessService:
         )
 
         def produce() -> Tuple[QuantifyResult, UnfairnessBreakdown]:
+            store = self.score_store(dataset, function)
             result = quantify(
                 dataset,
                 function,
@@ -202,8 +325,11 @@ class FairnessService:
                 attributes=attributes,
                 max_depth=max_depth,
                 min_partition_size=min_partition_size,
+                store=store,
             )
-            breakdown = unfairness_breakdown(result.partitioning, function, formulation)
+            breakdown = unfairness_breakdown(
+                result.partitioning, function, formulation, store=store
+            )
             return result, breakdown
 
         (result, breakdown), hit = self.cache.get_or_compute(
@@ -236,7 +362,12 @@ class FairnessService:
         result, _ = self.cache.get_or_compute(
             key,
             lambda: exhaustive_search(
-                dataset, function, formulation=formulation, attributes=attributes, limit=limit
+                dataset,
+                function,
+                formulation=formulation,
+                attributes=attributes,
+                limit=limit,
+                store=self.score_store(dataset, function),
             ),
             cost=lambda outcome: float(outcome.explored + 1),
         )
@@ -307,6 +438,7 @@ class FairnessService:
             formulation=formulation,
             attributes=attributes,
             min_partition_size=min_partition_size,
+            store_provider=self.score_store,
         )
         report, _ = self.cache.get_or_compute(
             key,
@@ -455,9 +587,10 @@ class FairnessService:
         return ServiceResult(
             kind=request.kind,
             key=key,
-            payload=copy.deepcopy(payload),
+            payload=_copy_json(payload),
             cached=hit,
             elapsed_s=elapsed,
+            store_stats=self.store_stats.as_dict(),
         )
 
     def execute_many(
@@ -537,6 +670,7 @@ class FairnessService:
             formulation=formulation,
             attributes=request.attributes,
             min_partition_size=request.min_partition_size,
+            store_provider=self.score_store,
         )
         if request.job is not None:
             audits = [auditor.audit_job(market, market.job(request.job))]

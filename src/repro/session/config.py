@@ -95,7 +95,8 @@ class SessionConfig:
             f"dataset: {self.dataset_name}",
             f"scoring function: {self.function_name}",
             f"fairness criterion: {self.formulation.describe()}",
-            f"data transparency: {'raw attributes' if self.anonymity_k <= 1 else f'{self.anonymity_k}-anonymised'}",
+            "data transparency: "
+            + ("raw attributes" if self.anonymity_k <= 1 else f"{self.anonymity_k}-anonymised"),
             f"function transparency: {'ranks only' if self.use_ranks_only else 'scores visible'}",
         ]
         if self.attributes is not None:

@@ -20,7 +20,7 @@ and comparing panels.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.anonymize.kanonymity import GlobalRecodingAnonymizer
 from repro.data.dataset import Dataset

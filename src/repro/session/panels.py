@@ -11,14 +11,14 @@ renderings the interface would display.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List
 
 from repro.core.quantify import QuantifyResult
 from repro.core.unfairness import UnfairnessBreakdown
 from repro.data.dataset import Dataset
 from repro.errors import SessionError
-from repro.roles.report import ReportTable, format_table
+from repro.roles.report import ReportTable
 from repro.scoring.base import ScoringFunction
 from repro.session.config import SessionConfig
 from repro.session.render import render_tree

@@ -75,7 +75,9 @@ def render_tree(
             child_prefix = ""
         else:
             connector = "`-- " if is_last else "|-- "
-            lines.append(prefix + connector + _node_line(node, function, formulation, show_histograms))
+            lines.append(
+                prefix + connector + _node_line(node, function, formulation, show_histograms)
+            )
             child_prefix = prefix + ("    " if is_last else "|   ")
         for index, child in enumerate(node.children):
             _walk(child, child_prefix, index == len(node.children) - 1, False)

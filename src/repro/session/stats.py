@@ -9,11 +9,11 @@ a whole partitioning tree (the "General box").
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict
 
 from repro.core.formulations import Formulation, MOST_UNFAIR_AVG_EMD
 from repro.core.partition import Partition
-from repro.core.tree import PartitionNode, PartitionTree
+from repro.core.tree import PartitionTree
 from repro.core.unfairness import unfairness, unfairness_breakdown
 from repro.scoring.base import ScoringFunction
 

@@ -13,7 +13,7 @@ from repro.anonymize.kanonymity import (
     is_k_anonymous,
 )
 from repro.data.dataset import Dataset
-from repro.data.schema import AttributeType, Schema, observed, protected
+from repro.data.schema import Schema, observed, protected
 from repro.errors import AnonymizationError
 from repro.marketplace.generator import CrowdsourcingGenerator
 

@@ -10,7 +10,7 @@ from repro.core.formulations import (
     Objective,
 )
 from repro.errors import FormulationError
-from repro.metrics.distances import MeanGapDistance, get_distance
+from repro.metrics.distances import MeanGapDistance
 from repro.metrics.histogram import Binning
 
 

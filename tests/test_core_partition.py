@@ -63,7 +63,8 @@ class TestSplitPartition:
 
     def test_split_preserves_parent_constraints(self, table1_dataset):
         root = root_partition(table1_dataset)
-        male = [c for c in split_partition(root, "Gender") if c.constraint_value("Gender") == "Male"][0]
+        children = split_partition(root, "Gender")
+        male = [c for c in children if c.constraint_value("Gender") == "Male"][0]
         by_language = split_partition(male, "Language")
         for child in by_language:
             assert child.constraint_value("Gender") == "Male"
@@ -111,7 +112,9 @@ class TestPartitioning:
             Partitioning(table1_dataset, (females,))
 
     def test_validation_rejects_empty_partition(self, table1_dataset):
-        empty = Partition(constraints=(("Gender", "X"),), members=table1_dataset.filter(lambda i: False))
+        empty = Partition(
+            constraints=(("Gender", "X"),), members=table1_dataset.filter(lambda i: False)
+        )
         with pytest.raises(PartitioningError):
             Partitioning(table1_dataset, (empty, root_partition(table1_dataset)))
 
@@ -139,7 +142,9 @@ class TestPartitioning:
 
     def test_key_is_order_independent(self, table1_dataset):
         partitioning = Partitioning.by_attributes(table1_dataset, ["Gender"])
-        reversed_partitioning = Partitioning(table1_dataset, tuple(reversed(partitioning.partitions)))
+        reversed_partitioning = Partitioning(
+            table1_dataset, tuple(reversed(partitioning.partitions))
+        )
         assert partitioning.key() == reversed_partitioning.key()
 
     def test_by_attributes_requires_protected(self, table1_dataset):

@@ -3,8 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.core.formulations import Aggregation, Formulation, Objective
-from repro.core.partition import Partitioning, root_partition, split_partition
+from repro.core.formulations import Aggregation, Formulation
+from repro.core.partition import Partitioning, root_partition
 from repro.core.unfairness import (
     cross_distances,
     pairwise_distances,
@@ -92,7 +92,10 @@ class TestCrossDistances:
     def test_partition_vs_siblings_average(self):
         binning = Binning.unit(5)
         current = build_histogram([0.0], binning=binning)
-        siblings = [build_histogram([1.0], binning=binning), build_histogram([0.0], binning=binning)]
+        siblings = [
+            build_histogram([1.0], binning=binning),
+            build_histogram([0.0], binning=binning),
+        ]
         value = partition_vs_siblings(current, siblings, Formulation())
         assert value == pytest.approx(2.0)  # (4 + 0) / 2
 

@@ -3,16 +3,7 @@
 import pytest
 
 from repro.data.dataset import Dataset, Individual
-from repro.data.filters import (
-    And,
-    Between,
-    Equals,
-    Not,
-    OneOf,
-    Or,
-    TrueFilter,
-    apply_filter,
-)
+from repro.data.filters import And, Between, Equals, OneOf, Or, TrueFilter, apply_filter
 from repro.data.schema import Schema, observed, protected
 from repro.errors import UnknownAttributeError
 

@@ -6,7 +6,6 @@ from repro.data.loaders import (
     TABLE1_PUBLISHED_SCORES,
     TABLE1_WEIGHTS,
     load_csv,
-    load_example_table1,
     load_records,
     table1_schema,
 )
@@ -82,7 +81,9 @@ class TestLoadCsv:
 
     def test_missing_file(self, tmp_path):
         with pytest.raises(DataError):
-            load_csv(tmp_path / "missing.csv", protected_names=["Gender"], observed_names=["Rating"])
+            load_csv(
+                tmp_path / "missing.csv", protected_names=["Gender"], observed_names=["Rating"]
+            )
 
     def test_missing_column(self, tmp_path):
         path = tmp_path / "bad.csv"

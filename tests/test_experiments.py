@@ -101,7 +101,8 @@ class TestSuiteSmallRuns:
         assert sum(sizes) == 10
         comparison = outcome.tables[1]
         values = dict(zip(comparison.column("partitioning"), comparison.column("unfairness")))
-        assert values["QUANTIFY (greedy search)"] >= values["Figure 2 (paper's illustration)"] - 1e-9
+        greedy = values["QUANTIFY (greedy search)"]
+        assert greedy >= values["Figure 2 (paper's illustration)"] - 1e-9
 
     def test_e4_greedy_vs_exhaustive_small(self):
         outcome = run_experiment("E4", sizes=(40,), attribute_counts=(2,))

@@ -9,7 +9,6 @@ from repro.marketplace.ranking import (
     ranking_report,
     top_k_share,
 )
-from repro.scoring.linear import LinearScoringFunction
 
 
 @pytest.fixture

@@ -7,7 +7,7 @@ from hypothesis import strategies as st
 
 from repro.errors import FormulationError
 from repro.metrics.emd import emd, emd_1d, emd_matrix, normalized_emd, pairwise_emd_matrix
-from repro.metrics.histogram import Binning, Histogram, build_histogram
+from repro.metrics.histogram import Binning, build_histogram
 
 distributions = st.lists(
     st.floats(min_value=0.0, max_value=10.0), min_size=2, max_size=12

@@ -81,6 +81,8 @@ class TestComparisons:
         )
         assert len(table) == 1
 
-    def test_compare_marketplaces_requires_offering(self, end_user, crowdsourcing_marketplace_fixture):
+    def test_compare_marketplaces_requires_offering(
+        self, end_user, crowdsourcing_marketplace_fixture
+    ):
         with pytest.raises(MarketplaceError):
             end_user.compare_marketplaces([crowdsourcing_marketplace_fixture], "Unicorn grooming")

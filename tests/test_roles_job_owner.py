@@ -65,7 +65,9 @@ class TestJobOwnerConfiguration:
     def test_opaque_job_rejected(self, small_population):
         hidden = LinearScoringFunction({"Rating": 1.0}, name="hidden")
         marketplace = Marketplace(name="m", workers=small_population)
-        marketplace.add_job(Job(title="opaque", function=OpaqueScoringFunction(hidden, name="opaque")))
+        marketplace.add_job(
+            Job(title="opaque", function=OpaqueScoringFunction(hidden, name="opaque"))
+        )
         with pytest.raises(MarketplaceError):
             JobOwner().explore_job(marketplace, "opaque")
 

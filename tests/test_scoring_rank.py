@@ -4,7 +4,6 @@ import pytest
 
 from repro.errors import ScoringError
 from repro.scoring.base import Ranking
-from repro.scoring.linear import LinearScoringFunction
 from repro.scoring.rank import OpaqueScoringFunction, RankDerivedScorer
 
 
@@ -70,7 +69,8 @@ class TestOpaqueScoringFunction:
 
     def test_reveal_ranking_matches_hidden_function(self, table1_dataset, table1_function):
         opaque = OpaqueScoringFunction(table1_function)
-        assert opaque.reveal_ranking(table1_dataset).uids == table1_function.rank(table1_dataset).uids
+        revealed = opaque.reveal_ranking(table1_dataset).uids
+        assert revealed == table1_function.rank(table1_dataset).uids
 
     def test_as_rank_scorer_preserves_order(self, table1_dataset, table1_function):
         opaque = OpaqueScoringFunction(table1_function)

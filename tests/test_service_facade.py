@@ -276,6 +276,8 @@ class TestServeBatchCLI:
         assert "quantify" in output and "audit" in output
         assert "hit" in output  # the second round is served from the cache
         assert "cache:" in output
+        assert "score store:" in output  # materialization stats are reported
+        assert "scoring pass(es)" in output
 
     def test_serve_batch_rejects_bad_files(self, tmp_path, capsys):
         path = tmp_path / "bad.json"

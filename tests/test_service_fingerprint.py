@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.formulations import Aggregation, Formulation, Objective
 from repro.data.loaders import TABLE1_WEIGHTS, load_example_table1
