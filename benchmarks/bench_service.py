@@ -1,17 +1,22 @@
-"""Service layer — cold vs. warm vs. batched throughput.
+"""Service layer — cold vs. warm vs. batched throughput, and sweep reuse.
 
-Measures what the new :mod:`repro.service` subsystem buys on the scalability
+Measures what the :mod:`repro.service` subsystem buys on the scalability
 workload (E11's synthetic populations):
 
 * **cold vs. warm** — an identical quantify request repeated against a warm
   cache must be served at least 10x faster than the cold computation;
 * **batch = serial** — a 16-request mixed batch through the
   :class:`~repro.service.BatchExecutor` must produce byte-identical results
-  to serial execution on a fresh service, in the same order.
+  to serial execution on a fresh service, in the same order;
+* **sweep reuse** — a protocol-v2 ``SweepRequest`` over N weight vectors on
+  a 10k-row population must share one materialized scoring pass per vector
+  via the score-store pool (``store_stats`` records the reuse) while staying
+  byte-identical to N serial quantify calls over the same variants.
 """
 
 from __future__ import annotations
 
+import json
 import time
 from typing import Dict, List
 
@@ -26,6 +31,7 @@ from repro.service import (
     FairnessService,
     QuantifyRequest,
     ServiceRequest,
+    SweepRequest,
 )
 
 
@@ -221,3 +227,91 @@ def test_batched_throughput_vs_serial(benchmark):
     )
     # The batch must never be pathologically slower than serial execution.
     assert batched_elapsed < serial_elapsed * 2.0
+
+
+SWEEP_WEIGHTS = [
+    {"Language Test": alpha, "Rating": 1.0 - alpha}
+    for alpha in (0.0, 0.25, 0.5, 0.75, 1.0)
+]
+
+
+def _sweep_service() -> FairnessService:
+    """A fresh service over the 10k-row scalability population."""
+    service = FairnessService()
+    service.register_dataset(
+        synthetic_population(size=10_000, seed=7), name="synthetic-10000"
+    )
+    service.register_function(
+        LinearScoringFunction({"Language Test": 0.5, "Rating": 0.5}, name="balanced")
+    )
+    return service
+
+
+def test_sweep_shares_scoring_passes(benchmark):
+    """A 5-vector SweepRequest on 10k rows reuses the score-store pool.
+
+    Every sweep point materializes its score vector once and serves both the
+    summary statistics and the quantify+breakdown kernel from it — the pool
+    records a hit per point — and the per-point unfairness values are
+    byte-identical to serial quantify calls over the same variants.
+    """
+    service = _sweep_service()
+    request = SweepRequest(
+        dataset="synthetic-10000",
+        function="balanced",
+        weights=tuple(SWEEP_WEIGHTS),
+        min_partition_size=5,
+    )
+
+    started = time.perf_counter()
+    result = service.execute(request)
+    sweep_elapsed = time.perf_counter() - started
+    assert result.ok and len(result.payload["points"]) == len(SWEEP_WEIGHTS)
+    stats = result.store_stats
+    assert stats["hits"] > 0, "the sweep must reuse the materialized score-store pool"
+    assert stats["scoring_passes"] == len(SWEEP_WEIGHTS), (
+        "each weight vector must be scored exactly once across summary + search"
+    )
+
+    # Serial reference: fresh service, one quantify_cached per weight vector.
+    serial_service = _sweep_service()
+    dataset = serial_service.dataset("synthetic-10000")
+    base = serial_service.function("balanced")
+    started = time.perf_counter()
+    serial_values = []
+    for index, weights in enumerate(SWEEP_WEIGHTS):
+        variant = base.with_weights(name=f"balanced@sweep{index}", **weights)
+        served = serial_service.quantify_cached(dataset, variant, min_partition_size=5)
+        serial_values.append(served.result.unfairness)
+    serial_elapsed = time.perf_counter() - started
+
+    sweep_values = [point["unfairness"] for point in result.payload["points"]]
+    assert json.dumps(sweep_values) == json.dumps(serial_values), (
+        "sweep results must be byte-identical to serial quantify calls"
+    )
+
+    def warm_sweep():
+        return service.execute(request)
+
+    warm = benchmark.pedantic(warm_sweep, rounds=3, iterations=1)
+    assert warm.cached is True
+
+    print()
+    print(
+        f"sweep({len(SWEEP_WEIGHTS)} vectors, 10k rows): {sweep_elapsed * 1000:.1f}ms  "
+        f"serial quantify: {serial_elapsed * 1000:.1f}ms  "
+        f"store: {stats['hits']} hits / {stats['misses']} misses, "
+        f"{stats['scoring_passes']} scoring pass(es)"
+    )
+    _write_results(
+        {
+            "sweep_reuse": {
+                "vectors": len(SWEEP_WEIGHTS),
+                "rows": 10_000,
+                "sweep_ms": round(sweep_elapsed * 1000, 1),
+                "serial_quantify_ms": round(serial_elapsed * 1000, 1),
+                "identical_to_serial": True,
+                "store": stats,
+            }
+        }
+    )

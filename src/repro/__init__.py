@@ -15,15 +15,20 @@ re-exported here covers the most common entry points:
   :class:`~repro.roles.EndUser`
 * session: :class:`~repro.session.FaiRankEngine`,
   :class:`~repro.session.SessionConfig`
+* catalog: :class:`~repro.catalog.Catalog` — the single resource registry
+  engine, service, roles and CLI all resolve through
 * service: :class:`~repro.service.FairnessService`,
-  :class:`~repro.service.BatchExecutor`, the request types
-  (:class:`~repro.service.QuantifyRequest`, :class:`~repro.service.AuditRequest`,
-  :class:`~repro.service.CompareRequest`) and the result cache
-  (:class:`~repro.service.LRUCache`)
+  :class:`~repro.service.FairnessClient`, :class:`~repro.service.BatchExecutor`,
+  the protocol-v2 request types (:class:`~repro.service.QuantifyRequest`,
+  :class:`~repro.service.AuditRequest`, :class:`~repro.service.CompareRequest`,
+  :class:`~repro.service.BreakdownRequest`, :class:`~repro.service.SweepRequest`,
+  :class:`~repro.service.EndUserRequest`, :class:`~repro.service.JobOwnerRequest`)
+  and the result cache (:class:`~repro.service.LRUCache`)
 
 See README.md for a quickstart and DESIGN.md for the system inventory.
 """
 
+from repro.catalog import Catalog, Resource, ResourceKind
 from repro.core import (
     Aggregation,
     FairnessProblem,
@@ -38,19 +43,25 @@ from repro.core import (
     unfairness_breakdown,
 )
 from repro.data import Dataset, Schema, load_example_table1
-from repro.errors import FaiRankError
+from repro.errors import CatalogError, FaiRankError
 from repro.marketplace import CrowdsourcingGenerator, Job, Marketplace, MarketplaceCrawler
 from repro.roles import Auditor, EndUser, JobOwner
 from repro.scoring import LinearScoringFunction, RankDerivedScorer, ScoringFunction
 from repro.service import (
+    PROTOCOL_VERSION,
     AuditRequest,
     BatchExecutor,
+    BreakdownRequest,
     CacheStats,
     CompareRequest,
+    EndUserRequest,
+    FairnessClient,
     FairnessService,
+    JobOwnerRequest,
     LRUCache,
     QuantifyRequest,
     ServiceResult,
+    SweepRequest,
     request_from_json,
 )
 from repro.session import FaiRankEngine, SessionConfig
@@ -86,13 +97,23 @@ __all__ = [
     "EndUser",
     "FaiRankEngine",
     "SessionConfig",
+    "Catalog",
+    "CatalogError",
+    "Resource",
+    "ResourceKind",
     "FairnessService",
+    "FairnessClient",
     "BatchExecutor",
     "LRUCache",
     "CacheStats",
+    "PROTOCOL_VERSION",
     "QuantifyRequest",
     "AuditRequest",
     "CompareRequest",
+    "BreakdownRequest",
+    "SweepRequest",
+    "EndUserRequest",
+    "JobOwnerRequest",
     "ServiceResult",
     "request_from_json",
 ]

@@ -1,6 +1,6 @@
 """Command-line interface for the FaiRank reproduction.
 
-Five subcommands cover the common entry points without writing any Python:
+Six subcommands cover the common entry points without writing any Python:
 
 * ``fairank table1`` — print the paper's Table 1 example and its scores;
 * ``fairank quantify`` — run the QUANTIFY search on a CSV file (or the
@@ -8,9 +8,12 @@ Five subcommands cover the common entry points without writing any Python:
 * ``fairank audit`` — run the AUDITOR scenario on a simulated platform crawl;
 * ``fairank experiments`` — regenerate one or all of the E1–E12 experiment
   tables recorded in EXPERIMENTS.md;
-* ``fairank serve-batch`` — execute a JSON file of service requests through
-  the parallel batch executor and report per-request latency plus cache
-  statistics.
+* ``fairank serve-batch`` — execute a JSON file of protocol-v1 or -v2
+  service requests (all request kinds) through the parallel batch executor
+  and report per-request latency, errors, and cache statistics;
+* ``fairank catalog`` — list the resources (name, kind, fingerprint prefix,
+  rows/arity) of the registry ``serve-batch`` requests resolve against, and
+  optionally check which resources a batch file references.
 
 The CLI is a thin veneer over the public API; everything it does can be done
 programmatically (see README.md).
@@ -63,10 +66,14 @@ def build_parser() -> argparse.ArgumentParser:
                                  metavar="ATTR=W",
                                  help="scoring weight, e.g. --weight Rating=0.7 (repeatable; "
                                       "default: equal weights over all observed attributes)")
+    # Objective/aggregation/distance names are deliberately *not* argparse
+    # choices: Formulation.from_names is the one validation path (shared with
+    # the wire protocol and the experiments), so every layer reports a bad
+    # name with the same error message.
     quantify_parser.add_argument("--objective", default="most_unfair",
-                                 choices=["most_unfair", "least_unfair"])
+                                 help="most_unfair or least_unfair")
     quantify_parser.add_argument("--aggregation", default="average",
-                                 choices=["average", "maximum", "minimum", "variance"])
+                                 help="average, maximum, minimum or variance")
     quantify_parser.add_argument("--distance", default="emd")
     quantify_parser.add_argument("--bins", type=int, default=5)
     quantify_parser.add_argument("--attributes", nargs="+",
@@ -105,22 +112,39 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument(
         "requests",
         help="JSON file: a list of request objects, or {'requests': [...]} "
-             "(each object needs a 'kind': quantify, audit or compare)")
+             "(each object needs a 'kind': quantify, audit, compare, breakdown, "
+             "sweep, end_user or job_owner; protocol v1 files still execute)")
     serve_parser.add_argument("--workers", type=int, default=None,
                               help="thread-pool width (default: auto)")
     serve_parser.add_argument("--serial", action="store_true",
                               help="execute one request at a time instead of in parallel")
     serve_parser.add_argument("--repeat", type=int, default=1,
                               help="run the batch N times (later runs exercise the warm cache)")
-    serve_parser.add_argument("--market-size", type=int, default=200,
-                              help="size of the built-in crowdsourcing-sim marketplace")
-    serve_parser.add_argument("--synthetic", type=int, action="append", default=[],
-                              metavar="SIZE",
-                              help="also register a synthetic-SIZE dataset (repeatable)")
-    serve_parser.add_argument("--seed", type=int, default=7,
-                              help="seed for the built-in synthetic workloads")
+    _add_registry_arguments(serve_parser)
+
+    # -- catalog ----------------------------------------------------------------
+    catalog_parser = subparsers.add_parser(
+        "catalog",
+        help="list the resources serve-batch requests resolve against",
+    )
+    catalog_parser.add_argument(
+        "--requests", default=None,
+        help="optional JSON batch file: additionally report whether each "
+             "request's resources resolve in this registry")
+    _add_registry_arguments(catalog_parser)
 
     return parser
+
+
+def _add_registry_arguments(parser: argparse.ArgumentParser) -> None:
+    """Options describing the built-in registry serve-batch/catalog expose."""
+    parser.add_argument("--market-size", type=int, default=200,
+                        help="size of the built-in crowdsourcing-sim marketplace")
+    parser.add_argument("--synthetic", type=int, action="append", default=[],
+                        metavar="SIZE",
+                        help="also register a synthetic-SIZE dataset (repeatable)")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="seed for the built-in synthetic workloads")
 
 
 def _parse_weights(raw_weights: Sequence[str]) -> dict:
@@ -231,7 +255,8 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
 
 
 def _serve_batch_service(args: argparse.Namespace):
-    """The default catalogue a ``serve-batch`` run serves requests against."""
+    """The default catalogue ``serve-batch`` and ``catalog`` requests resolve against."""
+    from repro.core.formulations import LEAST_UNFAIR_AVG_EMD, MOST_UNFAIR_AVG_EMD
     from repro.experiments.workloads import crowdsourcing_marketplace, synthetic_population
     from repro.service import FairnessService
 
@@ -248,14 +273,17 @@ def _serve_batch_service(args: argparse.Namespace):
         service.register_dataset(
             synthetic_population(size=size, seed=args.seed), name=f"synthetic-{size}"
         )
+    service.register_formulation(MOST_UNFAIR_AVG_EMD)
+    service.register_formulation(LEAST_UNFAIR_AVG_EMD)
     return service
 
 
-def _cmd_serve_batch(args: argparse.Namespace) -> int:
-    from repro.service import BatchExecutor, request_from_json
+def _load_requests_file(path: str):
+    """Parse a batch file into request objects (shared by serve-batch/catalog)."""
+    from repro.service import request_from_json
 
     try:
-        with open(args.requests, "r", encoding="utf-8") as handle:
+        with open(path, "r", encoding="utf-8") as handle:
             document = json.load(handle)
     except OSError as error:
         raise FaiRankError(f"cannot read requests file: {error}") from None
@@ -267,29 +295,108 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
             "requests file must contain a non-empty list of request objects "
             "(either top-level or under a 'requests' key)"
         )
+    return [request_from_json(entry) for entry in entries]
+
+
+def _cmd_serve_batch(args: argparse.Namespace) -> int:
+    from repro.service import BatchExecutor
+
+    requests = _load_requests_file(args.requests)
     if args.repeat < 1:
         raise FaiRankError(f"--repeat must be >= 1, got {args.repeat}")
     if args.workers is not None and args.workers < 1:
         raise FaiRankError(f"--workers must be >= 1, got {args.workers}")
-    requests = [request_from_json(entry) for entry in entries]
 
     service = _serve_batch_service(args)
     executor = BatchExecutor(service, max_workers=args.workers)
+    errors = 0
     for round_number in range(1, args.repeat + 1):
         results = executor.run_serial(requests) if args.serial else executor.run(requests)
         if args.repeat > 1:
             print(f"-- round {round_number} --")
-        print(f"{'#':>3}  {'kind':<9} {'key':<12} {'cached':<6} {'latency':>10}")
+        print(f"{'#':>3}  {'kind':<9} {'key':<12} {'served':<6} {'latency':>10}")
         for index, result in enumerate(results, start=1):
+            served = "hit" if result.cached else ("error" if result.error else "miss")
             print(
                 f"{index:>3}  {result.kind:<9} {result.key[:12]:<12} "
-                f"{'hit' if result.cached else 'miss':<6} {result.elapsed_s * 1000:>8.2f}ms"
+                f"{served:<6} {result.elapsed_s * 1000:>8.2f}ms"
             )
+        # Errors are never cached, so every round fails the same requests;
+        # the summary reports per-request counts, not a per-round total.
+        errors = 0
+        for index, result in enumerate(results, start=1):
+            if result.error is not None:
+                errors += 1
+                print(f"  ! #{index} [{result.error['code']}] {result.error['message']}")
     mode = "serial" if args.serial else f"parallel x{executor.max_workers}"
     print(f"executed {len(requests)} request(s) per round, {args.repeat} round(s), {mode}")
+    if errors:
+        print(f"errors: {errors} request(s) returned an error envelope")
     print(f"cache: {service.cache_stats.describe()}")
     print(f"score store: {service.store_stats.describe()}")
+    # Partial failure is visible to scripts: 0 only when every request served.
+    return 1 if errors else 0
+
+
+def _cmd_catalog(args: argparse.Namespace) -> int:
+    from repro.roles.report import format_table
+
+    service = _serve_batch_service(args)
+    listing = service.catalog.describe()
+    headers = ["name", "kind", "fingerprint", "details"]
+    rows = []
+    for entry in listing["resources"]:
+        details = ", ".join(
+            f"{key}={value}"
+            for key, value in entry.items()
+            if key not in ("name", "kind", "fingerprint", "frozen")
+        )
+        if entry["frozen"]:
+            details = f"{details}, frozen" if details else "frozen"
+        rows.append([entry["name"], entry["kind"], entry["fingerprint"][:12], details])
+    print(format_table(headers, rows))
+    counts = ", ".join(f"{count} {kind}(s)" for kind, count in listing["counts"].items())
+    print(f"\n{counts}")
+
+    if args.requests:
+        requests = _load_requests_file(args.requests)
+        print(f"\nbatch file {args.requests}: {len(requests)} request(s)")
+        unresolved = 0
+        for index, request in enumerate(requests, start=1):
+            # Name-level resolution only: computing full request keys would
+            # fingerprint datasets and, for rank-only requests, run the
+            # scoring/ranking itself — far too heavy for a listing command.
+            for kind, reference in _request_references(request):
+                try:
+                    {"dataset": service.dataset, "function": service.function,
+                     "marketplace": service.marketplace}[kind](reference)
+                except FaiRankError as error:
+                    unresolved += 1
+                    print(f"  ! #{index} ({request.kind}) does not resolve: {error}")
+        if unresolved:
+            print(f"{unresolved} reference(s) are missing from this registry")
+        else:
+            print("every request resolves against this registry")
     return 0
+
+
+def _request_references(request):
+    """(kind, name) pairs of the catalogue resources a request references."""
+    references = []
+    dataset = getattr(request, "dataset", None)
+    if dataset:
+        references.append(("dataset", dataset))
+    function = getattr(request, "function", None)
+    if isinstance(function, str) and function:
+        references.append(("function", function))
+    for name in getattr(request, "functions", ()) or ():
+        references.append(("function", name))
+    marketplace = getattr(request, "marketplace", None)
+    if marketplace:
+        references.append(("marketplace", marketplace))
+    for name in getattr(request, "marketplaces", ()) or ():
+        references.append(("marketplace", name))
+    return references
 
 
 _COMMANDS = {
@@ -298,6 +405,7 @@ _COMMANDS = {
     "audit": _cmd_audit,
     "experiments": _cmd_experiments,
     "serve-batch": _cmd_serve_batch,
+    "catalog": _cmd_catalog,
 }
 
 

@@ -66,3 +66,7 @@ class ExperimentError(FaiRankError):
 
 class ServiceError(FaiRankError):
     """A fairness-service request was invalid or referenced unknown entities."""
+
+
+class CatalogError(FaiRankError):
+    """A resource-registry operation was invalid (unknown name, frozen entry...)."""

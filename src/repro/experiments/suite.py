@@ -18,7 +18,7 @@ from repro.anonymize.kanonymity import GlobalRecodingAnonymizer, MondrianAnonymi
 from repro.anonymize.metrics import information_loss
 from repro.baselines.predefined import single_attribute_baseline
 from repro.core.exhaustive import count_partitionings, exhaustive_search
-from repro.core.formulations import Aggregation, Formulation, Objective
+from repro.core.formulations import Formulation
 from repro.core.partition import Partitioning
 from repro.core.quantify import quantify
 from repro.core.unfairness import unfairness, unfairness_breakdown
@@ -32,7 +32,6 @@ from repro.experiments.workloads import (
     synthetic_population,
     table1_workload,
 )
-from repro.metrics.distances import get_distance
 from repro.roles.auditor import Auditor
 from repro.roles.end_user import EndUser
 from repro.roles.job_owner import JobOwner
@@ -248,20 +247,22 @@ def run_formulations(size: int = 300, seed: int = 7) -> List[ReportTable]:
         title="Unfairness under different formulations (same population and function)",
         headers=["objective", "aggregation", "distance", "unfairness", "#groups", "least favored"],
     )
-    for objective in (Objective.MOST_UNFAIR, Objective.LEAST_UNFAIR):
-        for aggregation in (Aggregation.AVERAGE, Aggregation.MAXIMUM, Aggregation.VARIANCE):
+    # Formulations are resolved from plain name strings through the single
+    # Formulation.from_names path shared with the CLI and the wire protocol.
+    for objective in ("most_unfair", "least_unfair"):
+        for aggregation in ("average", "maximum", "variance"):
             for distance_name in ("emd", "total_variation", "mean_gap"):
-                formulation = Formulation(
+                formulation = Formulation.from_names(
                     objective=objective,
                     aggregation=aggregation,
-                    distance=get_distance(distance_name),
+                    distance=distance_name,
                 )
                 result = quantify(population, function, formulation=formulation,
                                   attributes=attributes)
                 breakdown = unfairness_breakdown(result.partitioning, function, formulation)
                 table.add_row(
-                    objective.value,
-                    aggregation.value,
+                    objective,
+                    aggregation,
                     distance_name,
                     result.unfairness,
                     len(result.partitioning),

@@ -1,0 +1,258 @@
+"""An in-process client facade over the wire protocol.
+
+Programmatic callers of the service used to hand-assemble request
+dataclasses, call :meth:`~repro.service.service.FairnessService.execute` and
+unpack the envelope themselves.  :class:`FairnessClient` is the ergonomic
+front door: one method per request kind (``quantify``, ``audit``,
+``compare``, ``breakdown``, ``sweep``, ``end_user``, ``job_owner``) that
+builds the request, executes it through the service — so every call shares
+the service's fingerprint-keyed cache and score-store pool with raw-request
+and batch traffic — and returns the :class:`~repro.service.jobs.ServiceResult`.
+
+By default an error envelope is raised as a
+:class:`~repro.errors.ServiceError` (``raise_errors=False`` hands envelopes
+back untouched, the behaviour a remote client would implement).  The same
+facade is the template for the planned HTTP front end: its methods map 1:1
+onto protocol-v2 request kinds, so swapping the in-process ``execute`` for a
+POST keeps caller code unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+from repro.metrics.histogram import DEFAULT_BINS
+from repro.service.jobs import (
+    AuditRequest,
+    BreakdownRequest,
+    CompareRequest,
+    EndUserRequest,
+    JobOwnerRequest,
+    QuantifyRequest,
+    ServiceRequest,
+    ServiceResult,
+    SweepRequest,
+)
+from repro.service.service import FairnessService
+
+__all__ = ["FairnessClient"]
+
+
+class FairnessClient:
+    """Typed, per-kind entry points over a :class:`FairnessService`.
+
+    Parameters
+    ----------
+    service:
+        The service every call executes against.
+    raise_errors:
+        When True (default) an error envelope raises
+        :class:`~repro.errors.ServiceError`; when False the envelope is
+        returned as-is and the caller inspects ``result.ok`` / ``result.error``.
+    """
+
+    def __init__(self, service: FairnessService, *, raise_errors: bool = True) -> None:
+        self.service = service
+        self.raise_errors = raise_errors
+
+    def _run(self, request: ServiceRequest) -> ServiceResult:
+        result = self.service.execute(request)
+        if self.raise_errors:
+            result.raise_for_error()
+        return result
+
+    # -- one method per protocol-v2 request kind -------------------------------
+
+    def quantify(
+        self,
+        dataset: str,
+        function: str,
+        *,
+        objective: str = "most_unfair",
+        aggregation: str = "average",
+        distance: str = "emd",
+        bins: int = DEFAULT_BINS,
+        attributes: Optional[Sequence[str]] = None,
+        max_depth: Optional[int] = None,
+        min_partition_size: int = 1,
+        use_ranks_only: bool = False,
+    ) -> ServiceResult:
+        """One QUANTIFY search plus its unfairness breakdown."""
+        return self._run(
+            QuantifyRequest(
+                dataset=dataset,
+                function=function,
+                objective=objective,
+                aggregation=aggregation,
+                distance=distance,
+                bins=bins,
+                attributes=None if attributes is None else tuple(attributes),
+                max_depth=max_depth,
+                min_partition_size=min_partition_size,
+                use_ranks_only=use_ranks_only,
+            )
+        )
+
+    def audit(
+        self,
+        marketplace: str,
+        job: Optional[str] = None,
+        *,
+        objective: str = "most_unfair",
+        aggregation: str = "average",
+        distance: str = "emd",
+        bins: int = DEFAULT_BINS,
+        attributes: Optional[Sequence[str]] = None,
+        min_partition_size: int = 1,
+    ) -> ServiceResult:
+        """The AUDITOR scenario over a marketplace (or one of its jobs)."""
+        return self._run(
+            AuditRequest(
+                marketplace=marketplace,
+                job=job,
+                objective=objective,
+                aggregation=aggregation,
+                distance=distance,
+                bins=bins,
+                attributes=None if attributes is None else tuple(attributes),
+                min_partition_size=min_partition_size,
+            )
+        )
+
+    def compare(
+        self,
+        dataset: str,
+        functions: Sequence[str],
+        *,
+        objective: str = "most_unfair",
+        aggregation: str = "average",
+        distance: str = "emd",
+        bins: int = DEFAULT_BINS,
+        attributes: Optional[Sequence[str]] = None,
+        max_depth: Optional[int] = None,
+        min_partition_size: int = 1,
+    ) -> ServiceResult:
+        """Quantify several scoring functions over one dataset and rank them."""
+        return self._run(
+            CompareRequest(
+                dataset=dataset,
+                functions=tuple(functions),
+                objective=objective,
+                aggregation=aggregation,
+                distance=distance,
+                bins=bins,
+                attributes=None if attributes is None else tuple(attributes),
+                max_depth=max_depth,
+                min_partition_size=min_partition_size,
+            )
+        )
+
+    def breakdown(
+        self,
+        dataset: str,
+        function: str,
+        *,
+        objective: str = "most_unfair",
+        aggregation: str = "average",
+        distance: str = "emd",
+        bins: int = DEFAULT_BINS,
+        attributes: Optional[Sequence[str]] = None,
+        min_partition_size: int = 1,
+        use_ranks_only: bool = False,
+    ) -> ServiceResult:
+        """Per-attribute unfairness of the first-level splits."""
+        return self._run(
+            BreakdownRequest(
+                dataset=dataset,
+                function=function,
+                objective=objective,
+                aggregation=aggregation,
+                distance=distance,
+                bins=bins,
+                attributes=None if attributes is None else tuple(attributes),
+                min_partition_size=min_partition_size,
+                use_ranks_only=use_ranks_only,
+            )
+        )
+
+    def sweep(
+        self,
+        dataset: str,
+        function: str,
+        *,
+        steps: int = 5,
+        weights: Optional[Sequence[Mapping[str, float]]] = None,
+        objective: str = "most_unfair",
+        aggregation: str = "average",
+        distance: str = "emd",
+        bins: int = DEFAULT_BINS,
+        attributes: Optional[Sequence[str]] = None,
+        max_depth: Optional[int] = None,
+        min_partition_size: int = 1,
+    ) -> ServiceResult:
+        """Weight sweep over a linear function (explicit vectors or auto grid)."""
+        return self._run(
+            SweepRequest(
+                dataset=dataset,
+                function=function,
+                steps=steps,
+                weights=None if weights is None else tuple(weights),  # type: ignore[arg-type]
+                objective=objective,
+                aggregation=aggregation,
+                distance=distance,
+                bins=bins,
+                attributes=None if attributes is None else tuple(attributes),
+                max_depth=max_depth,
+                min_partition_size=min_partition_size,
+            )
+        )
+
+    def end_user(
+        self,
+        group: Mapping[str, object],
+        marketplaces: Sequence[str],
+        job: str,
+        *,
+        objective: str = "most_unfair",
+        aggregation: str = "average",
+        distance: str = "emd",
+        bins: int = DEFAULT_BINS,
+    ) -> ServiceResult:
+        """The END-USER scenario: one group, one job, several marketplaces."""
+        return self._run(
+            EndUserRequest(
+                group=tuple(group.items()),
+                marketplaces=tuple(marketplaces),
+                job=job,
+                objective=objective,
+                aggregation=aggregation,
+                distance=distance,
+                bins=bins,
+            )
+        )
+
+    def job_owner(
+        self,
+        marketplace: str,
+        job: str,
+        *,
+        sweep_steps: int = 5,
+        objective: str = "most_unfair",
+        aggregation: str = "average",
+        distance: str = "emd",
+        bins: int = DEFAULT_BINS,
+        min_partition_size: int = 1,
+    ) -> ServiceResult:
+        """The JOB-OWNER scenario: sweep a job's weights, recommend a variant."""
+        return self._run(
+            JobOwnerRequest(
+                marketplace=marketplace,
+                job=job,
+                sweep_steps=sweep_steps,
+                objective=objective,
+                aggregation=aggregation,
+                distance=distance,
+                bins=bins,
+                min_partition_size=min_partition_size,
+            )
+        )

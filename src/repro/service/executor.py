@@ -22,6 +22,7 @@ import os
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
+from repro.errors import FaiRankError
 from repro.service.jobs import ServiceRequest, ServiceResult
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
@@ -57,22 +58,38 @@ class BatchExecutor:
         """Execute a batch concurrently; results come back in input order.
 
         Requests with the same content fingerprint are submitted once and
-        share the resulting :class:`~repro.service.jobs.ServiceResult`.
+        share the resulting :class:`~repro.service.jobs.ServiceResult`.  A
+        request whose key cannot even be computed (it references resources
+        the service does not know) yields a protocol-v2 error envelope in
+        its slot instead of failing the whole batch.
         """
         batch = list(requests)
         if not batch:
             return []
-        keys = [self.service.request_key(request) for request in batch]
+        keys: List[Optional[str]] = []
+        failed: Dict[int, ServiceResult] = {}
+        for index, request in enumerate(batch):
+            try:
+                keys.append(self.service.request_key(request))
+            except FaiRankError as error:
+                keys.append(None)
+                failed[index] = self.service.error_result(request, error)
         first_of: Dict[str, ServiceRequest] = {}
         for key, request in zip(keys, batch):
-            first_of.setdefault(key, request)
-        workers = min(self.max_workers, len(first_of))
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            futures: Dict[str, "Future[ServiceResult]"] = {
-                key: pool.submit(self.service.execute, request, key)
-                for key, request in first_of.items()
-            }
-            return [futures[key].result() for key in keys]
+            if key is not None:
+                first_of.setdefault(key, request)
+        futures: Dict[str, "Future[ServiceResult]"] = {}
+        if first_of:
+            workers = min(self.max_workers, len(first_of))
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                futures = {
+                    key: pool.submit(self.service.execute, request, key)
+                    for key, request in first_of.items()
+                }
+        return [
+            failed[index] if key is None else futures[key].result()
+            for index, key in enumerate(keys)
+        ]
 
     def run_serial(self, requests: Sequence[ServiceRequest]) -> List[ServiceResult]:
         """Execute a batch one request at a time (reference ordering/results)."""

@@ -38,6 +38,7 @@ __all__ = [
     "fingerprint_dataset",
     "fingerprint_function",
     "fingerprint_formulation",
+    "fingerprint_marketplace",
 ]
 
 
@@ -168,6 +169,28 @@ def fingerprint_formulation(formulation: Formulation) -> str:
             )
         )
     )
+
+
+# -- marketplaces -------------------------------------------------------------
+
+def fingerprint_marketplace(marketplace) -> str:
+    """Content hash of a marketplace: its workers plus every job's identity.
+
+    A job contributes its title, its scoring function's content fingerprint
+    and its candidate filter, so two crawls that rebuilt identical platforms
+    share cache entries while any re-weighted job changes the hash.
+    """
+    parts = [fingerprint_dataset(marketplace.workers)]
+    for job in marketplace:
+        parts.append(
+            combine_fingerprints(
+                "job",
+                fingerprint_value(job.title),
+                fingerprint_function(job.function),
+                fingerprint_value(job.candidate_filter.describe()),
+            )
+        )
+    return combine_fingerprints("marketplace", *parts)
 
 
 def combine_fingerprints(*parts: Optional[str]) -> str:

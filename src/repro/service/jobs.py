@@ -1,43 +1,81 @@
-"""Typed request/response objects — the wire protocol of the service.
+"""Typed request/response objects — wire protocol v2 of the service.
 
 A request references datasets, scoring functions and marketplaces *by the
-name they are registered under* in a :class:`~repro.service.service.FairnessService`,
-so every request is a small, JSON-serialisable value object.  ``to_json`` /
-``from_json`` round-trip losslessly (``from_json(to_json(r)) == r``), which
-is what lets a batch of requests live in a file, a queue or an HTTP body.
+name they are registered under* in the service's
+:class:`~repro.catalog.Catalog`, so every request is a small,
+JSON-serialisable value object.  ``to_json`` / ``from_json`` round-trip
+losslessly (``from_json(to_json(r)) == r``), which is what lets a batch of
+requests live in a file, a queue or an HTTP body.
 
-Three request kinds cover the interactive workloads of the paper:
+**Protocol v2** adds a versioned envelope and three things v1 lacked:
 
-* :class:`QuantifyRequest` — one QUANTIFY search (Algorithm 1) plus its
-  unfairness breakdown; the bread-and-butter panel computation.
-* :class:`AuditRequest` — the AUDITOR scenario over a whole marketplace (or
-  one of its jobs).
-* :class:`CompareRequest` — one dataset, several scoring functions: the
-  "compare panels" loop a job owner drives.
+* every ``to_json`` payload carries ``"protocol": 2``; ingestion is
+  graceful — a payload without the field (or with ``protocol: 1``) is a v1
+  request and parses identically, while versions this server does not speak
+  are rejected with a clear error;
+* :class:`ServiceResult` gains a structured ``error`` payload
+  (``{"code", "message"}``) so a failed request travels the same envelope as
+  a successful one instead of only raising server-side;
+* three paper scenarios that v1 could not express over the wire:
 
-:class:`ServiceResult` is the uniform response envelope: the request kind,
-the cache key it resolved to, a plain-JSON payload, and serving metadata
-(cache hit flag, elapsed seconds).
+  ==================  =====================================================
+  kind                workload
+  ==================  =====================================================
+  ``quantify``        one QUANTIFY search plus its unfairness breakdown
+  ``audit``           the AUDITOR scenario over a marketplace (or one job)
+  ``compare``         one dataset, several scoring functions, ranked
+  ``breakdown``       per-attribute unfairness of first-level splits
+  ``sweep``           weight sweep over a linear function (JOB-OWNER core)
+  ``end_user``        one group, one job, several marketplaces (END-USER)
+  ``job_owner``       full job-owner variant exploration with a verdict
+  ==================  =====================================================
 """
 
 from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Any, ClassVar, Dict, Mapping, Optional, Sequence, Tuple, Type, Union
+from typing import (
+    Any,
+    ClassVar,
+    Dict,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Type,
+    Union,
+)
 
 from repro.core.formulations import Formulation
 from repro.errors import ServiceError
 from repro.metrics.histogram import DEFAULT_BINS
 
 __all__ = [
+    "PROTOCOL_VERSION",
     "QuantifyRequest",
     "AuditRequest",
     "CompareRequest",
+    "BreakdownRequest",
+    "SweepRequest",
+    "EndUserRequest",
+    "JobOwnerRequest",
     "ServiceRequest",
     "ServiceResult",
     "request_from_json",
 ]
+
+#: The protocol version this build speaks (and stamps on outgoing payloads).
+PROTOCOL_VERSION = 2
+
+#: Versions this server ingests.  v1 payloads simply lack the new request
+#: kinds and the ``protocol`` field; their fields are a strict subset of v2.
+_SUPPORTED_PROTOCOLS = (1, 2)
+
+#: Weight vectors travel as ``{attribute: weight}`` JSON objects but are
+#: normalised to sorted ``((attribute, weight), ...)`` pairs internally so
+#: frozen requests stay comparable regardless of key order.
+WeightVector = Tuple[Tuple[str, float], ...]
 
 
 def _optional_str_tuple(value: Optional[Sequence[str]]) -> Optional[Tuple[str, ...]]:
@@ -46,9 +84,38 @@ def _optional_str_tuple(value: Optional[Sequence[str]]) -> Optional[Tuple[str, .
     return tuple(str(item) for item in value)
 
 
+def _normalise_weight_vectors(
+    value: Optional[Sequence[Union[Mapping[str, float], Sequence[Tuple[str, float]]]]],
+) -> Optional[Tuple[WeightVector, ...]]:
+    """Canonicalise a sequence of weight maps to sorted pair tuples."""
+    if value is None:
+        return None
+    vectors = []
+    for entry in value:
+        items = entry.items() if isinstance(entry, Mapping) else entry
+        vectors.append(
+            tuple(sorted((str(name), float(weight)) for name, weight in items))
+        )
+    return tuple(vectors)
+
+
+def _normalise_group(
+    value: Union[Mapping[str, object], Sequence[Tuple[str, object]]],
+) -> Tuple[Tuple[str, object], ...]:
+    """Canonicalise an end-user group to sorted (attribute, value) pairs."""
+    items = value.items() if isinstance(value, Mapping) else value
+    return tuple(sorted(((str(name), v) for name, v in items), key=lambda p: p[0]))
+
+
 @dataclass(frozen=True)
 class _FormulationMixin:
-    """Shared formulation fields (kept as plain strings for the wire)."""
+    """Shared formulation fields (kept as plain strings for the wire).
+
+    String validation is *not* duplicated here: ``formulation()`` is the one
+    resolution path — :meth:`repro.core.formulations.Formulation.from_names`
+    — shared with the CLI and the experiments harness, so every layer raises
+    the same error message for a bad objective/aggregation/distance name.
+    """
 
     objective: str = "most_unfair"
     aggregation: str = "average"
@@ -72,6 +139,18 @@ class _FormulationMixin:
             "bins": self.bins,
         }
 
+    @classmethod
+    def _formulation_kwargs(cls, payload: Mapping[str, object]) -> Dict[str, object]:
+        return {
+            "objective": str(payload.get("objective", "most_unfair")),
+            "aggregation": str(payload.get("aggregation", "average")),
+            "distance": str(payload.get("distance", "emd")),
+            "bins": int(payload.get("bins", DEFAULT_BINS)),  # type: ignore[arg-type]
+        }
+
+    def _envelope(self) -> Dict[str, object]:
+        return {"protocol": PROTOCOL_VERSION, "kind": self.kind}  # type: ignore[attr-defined]
+
 
 @dataclass(frozen=True)
 class QuantifyRequest(_FormulationMixin):
@@ -94,8 +173,8 @@ class QuantifyRequest(_FormulationMixin):
         object.__setattr__(self, "attributes", _optional_str_tuple(self.attributes))
 
     def to_json(self) -> Dict[str, object]:
-        payload: Dict[str, object] = {"kind": self.kind, "dataset": self.dataset,
-                                      "function": self.function}
+        payload = self._envelope()
+        payload.update({"dataset": self.dataset, "function": self.function})
         payload.update(self._formulation_json())
         payload.update(
             {
@@ -112,10 +191,6 @@ class QuantifyRequest(_FormulationMixin):
         return cls(
             dataset=str(payload["dataset"]),
             function=str(payload["function"]),
-            objective=str(payload.get("objective", "most_unfair")),
-            aggregation=str(payload.get("aggregation", "average")),
-            distance=str(payload.get("distance", "emd")),
-            bins=int(payload.get("bins", DEFAULT_BINS)),  # type: ignore[arg-type]
             attributes=_optional_str_tuple(payload.get("attributes")),  # type: ignore[arg-type]
             max_depth=(
                 None if payload.get("max_depth") is None
@@ -123,6 +198,7 @@ class QuantifyRequest(_FormulationMixin):
             ),
             min_partition_size=int(payload.get("min_partition_size", 1)),  # type: ignore[arg-type]
             use_ranks_only=bool(payload.get("use_ranks_only", False)),
+            **cls._formulation_kwargs(payload),  # type: ignore[arg-type]
         )
 
 
@@ -143,8 +219,8 @@ class AuditRequest(_FormulationMixin):
         object.__setattr__(self, "attributes", _optional_str_tuple(self.attributes))
 
     def to_json(self) -> Dict[str, object]:
-        payload: Dict[str, object] = {"kind": self.kind, "marketplace": self.marketplace,
-                                      "job": self.job}
+        payload = self._envelope()
+        payload.update({"marketplace": self.marketplace, "job": self.job})
         payload.update(self._formulation_json())
         payload.update(
             {
@@ -159,12 +235,9 @@ class AuditRequest(_FormulationMixin):
         return cls(
             marketplace=str(payload["marketplace"]),
             job=None if payload.get("job") is None else str(payload["job"]),
-            objective=str(payload.get("objective", "most_unfair")),
-            aggregation=str(payload.get("aggregation", "average")),
-            distance=str(payload.get("distance", "emd")),
-            bins=int(payload.get("bins", DEFAULT_BINS)),  # type: ignore[arg-type]
             attributes=_optional_str_tuple(payload.get("attributes")),  # type: ignore[arg-type]
             min_partition_size=int(payload.get("min_partition_size", 1)),  # type: ignore[arg-type]
+            **cls._formulation_kwargs(payload),  # type: ignore[arg-type]
         )
 
 
@@ -189,8 +262,8 @@ class CompareRequest(_FormulationMixin):
         object.__setattr__(self, "attributes", _optional_str_tuple(self.attributes))
 
     def to_json(self) -> Dict[str, object]:
-        payload: Dict[str, object] = {"kind": self.kind, "dataset": self.dataset,
-                                      "functions": list(self.functions)}
+        payload = self._envelope()
+        payload.update({"dataset": self.dataset, "functions": list(self.functions)})
         payload.update(self._formulation_json())
         payload.update(
             {
@@ -208,30 +281,284 @@ class CompareRequest(_FormulationMixin):
             functions=tuple(
                 str(f) for f in payload.get("functions", ())  # type: ignore[union-attr]
             ),
-            objective=str(payload.get("objective", "most_unfair")),
-            aggregation=str(payload.get("aggregation", "average")),
-            distance=str(payload.get("distance", "emd")),
-            bins=int(payload.get("bins", DEFAULT_BINS)),  # type: ignore[arg-type]
             attributes=_optional_str_tuple(payload.get("attributes")),  # type: ignore[arg-type]
             max_depth=(
                 None if payload.get("max_depth") is None
                 else int(payload["max_depth"])  # type: ignore[arg-type]
             ),
             min_partition_size=int(payload.get("min_partition_size", 1)),  # type: ignore[arg-type]
+            **cls._formulation_kwargs(payload),  # type: ignore[arg-type]
         )
 
 
-ServiceRequest = Union[QuantifyRequest, AuditRequest, CompareRequest]
+@dataclass(frozen=True)
+class BreakdownRequest(_FormulationMixin):
+    """Per-attribute unfairness: how unfair is each first-level split alone?
+
+    The first step of QUANTIFY ranks protected attributes by how unfair the
+    single-attribute partitioning of the whole population is; this request
+    serves that ranking directly (the "which attribute drives the bias"
+    question an auditor asks before running the full search).
+    """
+
+    kind: ClassVar[str] = "breakdown"
+
+    dataset: str = ""
+    function: str = ""
+    attributes: Optional[Tuple[str, ...]] = None
+    min_partition_size: int = 1
+    use_ranks_only: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.dataset:
+            raise ServiceError("a breakdown request needs a dataset name")
+        if not self.function:
+            raise ServiceError("a breakdown request needs a scoring-function name")
+        object.__setattr__(self, "attributes", _optional_str_tuple(self.attributes))
+
+    def to_json(self) -> Dict[str, object]:
+        payload = self._envelope()
+        payload.update({"dataset": self.dataset, "function": self.function})
+        payload.update(self._formulation_json())
+        payload.update(
+            {
+                "attributes": list(self.attributes) if self.attributes is not None else None,
+                "min_partition_size": self.min_partition_size,
+                "use_ranks_only": self.use_ranks_only,
+            }
+        )
+        return payload
+
+    @classmethod
+    def from_json(cls, payload: Mapping[str, object]) -> "BreakdownRequest":
+        return cls(
+            dataset=str(payload["dataset"]),
+            function=str(payload["function"]),
+            attributes=_optional_str_tuple(payload.get("attributes")),  # type: ignore[arg-type]
+            min_partition_size=int(payload.get("min_partition_size", 1)),  # type: ignore[arg-type]
+            use_ranks_only=bool(payload.get("use_ranks_only", False)),
+            **cls._formulation_kwargs(payload),  # type: ignore[arg-type]
+        )
+
+
+@dataclass(frozen=True)
+class SweepRequest(_FormulationMixin):
+    """Weight sweep over a linear scoring function (the JOB-OWNER core loop).
+
+    Either an explicit list of weight vectors (``weights``) or an automatic
+    ``steps``-point sweep over the base function's attributes.  An explicit
+    vector fully specifies a variant's weights (normalized server-side;
+    attributes it omits get weight 0 — vectors are *not* merged into the
+    base function's weights).  The service evaluates every point with one
+    materialized scoring pass per vector, shared between the summary
+    statistics, the QUANTIFY search and the unfairness breakdown via the
+    score-store pool.
+    """
+
+    kind: ClassVar[str] = "sweep"
+
+    dataset: str = ""
+    function: str = ""
+    steps: int = 5
+    weights: Optional[Tuple[WeightVector, ...]] = None
+    attributes: Optional[Tuple[str, ...]] = None
+    max_depth: Optional[int] = None
+    min_partition_size: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.dataset:
+            raise ServiceError("a sweep request needs a dataset name")
+        if not self.function:
+            raise ServiceError("a sweep request needs a scoring-function name")
+        object.__setattr__(self, "weights", _normalise_weight_vectors(self.weights))
+        if self.weights is not None and not self.weights:
+            raise ServiceError("a sweep request with explicit weights needs at least one vector")
+        if self.weights is None and self.steps < 2:
+            raise ServiceError(f"an automatic sweep needs at least 2 steps, got {self.steps}")
+        object.__setattr__(self, "attributes", _optional_str_tuple(self.attributes))
+
+    @property
+    def weight_maps(self) -> Optional[Tuple[Dict[str, float], ...]]:
+        """The explicit weight vectors as plain dicts (None for automatic)."""
+        if self.weights is None:
+            return None
+        return tuple(dict(vector) for vector in self.weights)
+
+    def to_json(self) -> Dict[str, object]:
+        payload = self._envelope()
+        payload.update({"dataset": self.dataset, "function": self.function})
+        payload.update(self._formulation_json())
+        payload.update(
+            {
+                "steps": self.steps,
+                "weights": (
+                    None if self.weights is None
+                    else [dict(vector) for vector in self.weights]
+                ),
+                "attributes": list(self.attributes) if self.attributes is not None else None,
+                "max_depth": self.max_depth,
+                "min_partition_size": self.min_partition_size,
+            }
+        )
+        return payload
+
+    @classmethod
+    def from_json(cls, payload: Mapping[str, object]) -> "SweepRequest":
+        return cls(
+            dataset=str(payload["dataset"]),
+            function=str(payload["function"]),
+            steps=int(payload.get("steps", 5)),  # type: ignore[arg-type]
+            weights=_normalise_weight_vectors(payload.get("weights")),  # type: ignore[arg-type]
+            attributes=_optional_str_tuple(payload.get("attributes")),  # type: ignore[arg-type]
+            max_depth=(
+                None if payload.get("max_depth") is None
+                else int(payload["max_depth"])  # type: ignore[arg-type]
+            ),
+            min_partition_size=int(payload.get("min_partition_size", 1)),  # type: ignore[arg-type]
+            **cls._formulation_kwargs(payload),  # type: ignore[arg-type]
+        )
+
+
+@dataclass(frozen=True)
+class EndUserRequest(_FormulationMixin):
+    """The END-USER scenario: one group, one job, several marketplaces."""
+
+    kind: ClassVar[str] = "end_user"
+
+    group: Tuple[Tuple[str, object], ...] = ()
+    marketplaces: Tuple[str, ...] = ()
+    job: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "group", _normalise_group(self.group))
+        if not self.group:
+            raise ServiceError(
+                "an end-user request needs at least one protected-attribute value"
+            )
+        object.__setattr__(
+            self, "marketplaces", tuple(str(m) for m in self.marketplaces)
+        )
+        if not self.marketplaces:
+            raise ServiceError("an end-user request needs at least one marketplace name")
+        if not self.job:
+            raise ServiceError("an end-user request needs a job title")
+
+    @property
+    def group_map(self) -> Dict[str, object]:
+        """The group as a plain ``{attribute: value}`` dict."""
+        return dict(self.group)
+
+    def to_json(self) -> Dict[str, object]:
+        payload = self._envelope()
+        payload.update(
+            {
+                "group": dict(self.group),
+                "marketplaces": list(self.marketplaces),
+                "job": self.job,
+            }
+        )
+        payload.update(self._formulation_json())
+        return payload
+
+    @classmethod
+    def from_json(cls, payload: Mapping[str, object]) -> "EndUserRequest":
+        return cls(
+            group=_normalise_group(payload["group"]),  # type: ignore[arg-type]
+            marketplaces=tuple(
+                str(m) for m in payload.get("marketplaces", ())  # type: ignore[union-attr]
+            ),
+            job=str(payload.get("job", "")),
+            **cls._formulation_kwargs(payload),  # type: ignore[arg-type]
+        )
+
+
+@dataclass(frozen=True)
+class JobOwnerRequest(_FormulationMixin):
+    """The JOB-OWNER scenario: sweep one job's weights and recommend a variant."""
+
+    kind: ClassVar[str] = "job_owner"
+
+    marketplace: str = ""
+    job: str = ""
+    sweep_steps: int = 5
+    min_partition_size: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.marketplace:
+            raise ServiceError("a job-owner request needs a marketplace name")
+        if not self.job:
+            raise ServiceError("a job-owner request needs a job title")
+        if self.sweep_steps < 2:
+            raise ServiceError(
+                f"a job-owner sweep needs at least 2 steps, got {self.sweep_steps}"
+            )
+
+    def to_json(self) -> Dict[str, object]:
+        payload = self._envelope()
+        payload.update(
+            {
+                "marketplace": self.marketplace,
+                "job": self.job,
+                "sweep_steps": self.sweep_steps,
+                "min_partition_size": self.min_partition_size,
+            }
+        )
+        payload.update(self._formulation_json())
+        return payload
+
+    @classmethod
+    def from_json(cls, payload: Mapping[str, object]) -> "JobOwnerRequest":
+        return cls(
+            marketplace=str(payload["marketplace"]),
+            job=str(payload["job"]),
+            sweep_steps=int(payload.get("sweep_steps", 5)),  # type: ignore[arg-type]
+            min_partition_size=int(payload.get("min_partition_size", 1)),  # type: ignore[arg-type]
+            **cls._formulation_kwargs(payload),  # type: ignore[arg-type]
+        )
+
+
+ServiceRequest = Union[
+    QuantifyRequest,
+    AuditRequest,
+    CompareRequest,
+    BreakdownRequest,
+    SweepRequest,
+    EndUserRequest,
+    JobOwnerRequest,
+]
 
 _REQUEST_KINDS: Dict[str, Type[ServiceRequest]] = {
     QuantifyRequest.kind: QuantifyRequest,
     AuditRequest.kind: AuditRequest,
     CompareRequest.kind: CompareRequest,
+    BreakdownRequest.kind: BreakdownRequest,
+    SweepRequest.kind: SweepRequest,
+    EndUserRequest.kind: EndUserRequest,
+    JobOwnerRequest.kind: JobOwnerRequest,
 }
 
 
 def request_from_json(payload: Mapping[str, object]) -> ServiceRequest:
-    """Rebuild any request from its ``to_json`` form (dispatch on ``kind``)."""
+    """Rebuild any request from its ``to_json`` form (dispatch on ``kind``).
+
+    Payloads without a ``protocol`` field are treated as protocol v1 (the
+    pre-envelope wire format, whose fields are a strict subset of v2), so
+    existing batch files keep executing unchanged.  Protocol versions this
+    build does not speak are rejected up front.
+    """
+    try:
+        raw_protocol = payload.get("protocol", 1)
+    except AttributeError:
+        raise ServiceError("a request payload must be a JSON object") from None
+    try:
+        protocol = int(raw_protocol)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        raise ServiceError(f"invalid protocol version {raw_protocol!r}") from None
+    if protocol not in _SUPPORTED_PROTOCOLS:
+        raise ServiceError(
+            f"unsupported protocol version {protocol}; this server speaks "
+            f"{', '.join(str(v) for v in _SUPPORTED_PROTOCOLS)}"
+        )
     try:
         kind = payload["kind"]
     except (KeyError, TypeError):
@@ -260,11 +587,18 @@ class ServiceResult:
 
     ``payload`` is a plain-JSON tree (only dicts/lists/strings/numbers/bools/
     None), so a result can be shipped over any transport.  ``canonical()``
-    serialises the semantic content — kind, key and payload, but *not* the
-    serving metadata — with sorted keys, so two results are byte-comparable
+    serialises the semantic content — kind, key, payload and (when present)
+    the error — with sorted keys, so two results are byte-comparable
     regardless of whether they were computed, cached, or ran in a batch.
 
-    ``store_stats`` is serving metadata too: a snapshot of the service's
+    Protocol v2 additions: ``protocol`` stamps the envelope version, and a
+    failed request carries a structured ``error`` (``{"code", "message"}``,
+    with the code derived from the library's exception hierarchy, e.g.
+    ``"service"`` for a :class:`~repro.errors.ServiceError`) instead of only
+    raising server-side — a batch with one bad request still returns a
+    result per request.
+
+    ``store_stats`` is serving metadata: a snapshot of the service's
     score-store pool (materialized scoring passes, histogram hits/misses,
     store reuse) taken when the response was assembled, so clients can watch
     the compute-once layer work without a separate monitoring call.
@@ -276,27 +610,48 @@ class ServiceResult:
     cached: bool = False
     elapsed_s: float = 0.0
     store_stats: Optional[Dict[str, Any]] = None
+    protocol: int = PROTOCOL_VERSION
+    error: Optional[Dict[str, Any]] = None
+
+    @property
+    def ok(self) -> bool:
+        """True when the request was served successfully."""
+        return self.error is None
+
+    def raise_for_error(self) -> "ServiceResult":
+        """Raise :class:`~repro.errors.ServiceError` for an error result."""
+        if self.error is not None:
+            raise ServiceError(
+                f"{self.kind} request failed "
+                f"[{self.error.get('code', 'error')}]: {self.error.get('message', '')}"
+            )
+        return self
 
     def canonical(self) -> str:
         """Deterministic JSON of the semantic content (excludes metadata)."""
-        return json.dumps(
-            {"kind": self.kind, "key": self.key, "payload": self.payload},
-            sort_keys=True,
-        )
+        content: Dict[str, object] = {
+            "kind": self.kind, "key": self.key, "payload": self.payload,
+        }
+        if self.error is not None:
+            content["error"] = self.error
+        return json.dumps(content, sort_keys=True)
 
     def to_json(self) -> Dict[str, object]:
         return {
+            "protocol": self.protocol,
             "kind": self.kind,
             "key": self.key,
             "payload": self.payload,
             "cached": self.cached,
             "elapsed_s": self.elapsed_s,
             "store_stats": self.store_stats,
+            "error": self.error,
         }
 
     @classmethod
     def from_json(cls, payload: Mapping[str, object]) -> "ServiceResult":
         store_stats = payload.get("store_stats")
+        error = payload.get("error")
         return cls(
             kind=str(payload["kind"]),
             key=str(payload["key"]),
@@ -306,4 +661,6 @@ class ServiceResult:
             store_stats=(
                 None if store_stats is None else dict(store_stats)  # type: ignore[arg-type]
             ),
+            protocol=int(payload.get("protocol", 1)),  # type: ignore[arg-type]
+            error=None if error is None else dict(error),  # type: ignore[arg-type]
         )

@@ -1,18 +1,21 @@
-"""The :class:`FairnessService` facade: registry + cache + request execution.
+"""The :class:`FairnessService` facade: catalog + cache + request execution.
 
 FaiRank is interactive: users re-run the partitioning search over the same
 population while varying the scoring function and the formulation, and
 auditors fan the same analysis out across jobs and platforms.  The service
 layer turns the library's pure functions into a servable engine:
 
-* a **registry** of named datasets, scoring functions and marketplaces (the
-  catalogue a deployment exposes to clients);
+* a single :class:`~repro.catalog.Catalog` of named datasets, scoring
+  functions, marketplaces and formulations — the one registry the session
+  engine, the role workflows, the batch executor and the CLI all resolve
+  resources through (fingerprint-aware, with replace/freeze semantics);
 * a **fingerprint-keyed result cache** so semantically identical requests
   are computed once (:mod:`repro.service.fingerprint`,
   :mod:`repro.service.cache`);
-* **request execution** for the typed wire protocol of
-  :mod:`repro.service.jobs`, returning JSON-ready
-  :class:`~repro.service.jobs.ServiceResult` envelopes;
+* **request execution** for the typed wire protocol v2 of
+  :mod:`repro.service.jobs` — all seven request kinds — returning JSON-ready
+  :class:`~repro.service.jobs.ServiceResult` envelopes, with failures
+  reported as structured error payloads instead of raised-only exceptions;
 * cached wrappers around the role workflows (``Auditor``, ``JobOwner``,
   ``EndUser``) and the core kernels (``quantify``, ``exhaustive_search``,
   ``unfairness_breakdown``) for programmatic callers such as
@@ -22,24 +25,32 @@ layer turns the library's pure functions into a servable engine:
 from __future__ import annotations
 
 import marshal
+import re
 import time
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
+from repro.catalog import Catalog, ResourceKind
 from repro.core.exhaustive import ExhaustiveResult, exhaustive_search
-from repro.core.formulations import Formulation, MOST_UNFAIR_AVG_EMD
+from repro.core.formulations import Formulation, MOST_UNFAIR_AVG_EMD, resolve_binning
+from repro.core.partition import root_partition, split_partition
 from repro.core.quantify import QuantifyResult, quantify
 from repro.core.scorestore import ScoreStore
-from repro.core.unfairness import UnfairnessBreakdown, unfairness_breakdown
+from repro.core.unfairness import (
+    UnfairnessBreakdown,
+    pairwise_distances,
+    unfairness_breakdown,
+)
 from repro.data.dataset import Dataset
-from repro.errors import ServiceError
+from repro.errors import CatalogError, FaiRankError, ServiceError
 from repro.marketplace.entities import Marketplace
 from repro.roles.auditor import AuditReport, Auditor
 from repro.roles.end_user import EndUser
 from repro.roles.job_owner import JobOwner, JobOwnerReport
 from repro.roles.report import ReportTable
 from repro.scoring.base import ScoringFunction
-from repro.scoring.library import ScoringLibrary
+from repro.scoring.library import weight_sweep
+from repro.scoring.linear import LinearScoringFunction
 from repro.scoring.rank import OpaqueScoringFunction, RankDerivedScorer
 from repro.service.cache import CacheStats, LRUCache
 from repro.service.fingerprint import (
@@ -47,14 +58,19 @@ from repro.service.fingerprint import (
     fingerprint_dataset,
     fingerprint_formulation,
     fingerprint_function,
+    fingerprint_marketplace,
     fingerprint_value,
 )
 from repro.service.jobs import (
     AuditRequest,
+    BreakdownRequest,
     CompareRequest,
+    EndUserRequest,
+    JobOwnerRequest,
     QuantifyRequest,
     ServiceRequest,
     ServiceResult,
+    SweepRequest,
 )
 
 __all__ = ["CachedQuantify", "FairnessService", "StorePoolStats"]
@@ -79,6 +95,15 @@ def _copy_json(value):
     if isinstance(value, (list, tuple)):
         return [_copy_json(item) for item in value]
     return value
+
+
+def _error_code(error: BaseException) -> str:
+    """Stable wire code for an exception class (``ServiceError`` -> ``service``)."""
+    name = type(error).__name__
+    if name.endswith("Error"):
+        name = name[: -len("Error")]
+    code = re.sub(r"(?<!^)(?=[A-Z])", "_", name).lower()
+    return code or "error"
 
 
 @dataclass(frozen=True)
@@ -145,7 +170,7 @@ class StorePoolStats:
 
 
 class FairnessService:
-    """Servable fairness engine: named catalogues, memoisation, requests.
+    """Servable fairness engine: one catalogue, memoisation, requests.
 
     Parameters
     ----------
@@ -160,6 +185,11 @@ class FairnessService:
     max_stores:
         Bound on the number of per-(dataset, function) score stores the
         service keeps for cross-request reuse (LRU-evicted beyond it).
+    catalog:
+        An externally owned :class:`~repro.catalog.Catalog`, e.g. to share
+        one resource registry between several services.  By default the
+        service owns a fresh catalog — the *only* catalogue in the system;
+        session engines delegate to it rather than keeping their own.
     """
 
     def __init__(
@@ -168,80 +198,135 @@ class FairnessService:
         max_cost: Optional[float] = None,
         cache: Optional[LRUCache] = None,
         max_stores: int = 32,
+        catalog: Optional[Catalog] = None,
     ) -> None:
         if max_stores < 1:
             raise ServiceError(f"max_stores must be >= 1, got {max_stores}")
-        self._datasets: Dict[str, Dataset] = {}
-        self._functions = ScoringLibrary()
-        self._marketplaces: Dict[str, Marketplace] = {}
+        self.catalog = catalog if catalog is not None else Catalog()
         self.cache = cache if cache is not None else LRUCache(cache_size, max_cost=max_cost)
         self.max_stores = max_stores
         # The store pool is itself an LRUCache: thread-safe LRU with
         # hit/miss/eviction stats and single-flight store construction.
         self._store_pool = LRUCache(max_stores)
 
-    # -- registry -------------------------------------------------------------
+    # -- the catalogue ---------------------------------------------------------
 
-    def register_dataset(self, dataset: Dataset, name: Optional[str] = None) -> str:
+    def register_dataset(
+        self,
+        dataset: Dataset,
+        name: Optional[str] = None,
+        *,
+        replace: bool = True,
+        freeze: bool = False,
+    ) -> str:
         """Add a dataset to the catalogue; returns its registered name."""
-        key = name or dataset.name
-        if not key:
-            raise ServiceError("a dataset needs a non-empty name to be registered")
-        self._datasets[key] = dataset
-        return key
+        try:
+            return self.catalog.register(
+                dataset, name=name, kind=ResourceKind.DATASET,
+                replace=replace, freeze=freeze,
+            ).name
+        except CatalogError as error:
+            raise ServiceError(str(error)) from None
 
-    def register_function(self, function: ScoringFunction, replace: bool = True) -> str:
+    def register_function(
+        self,
+        function: ScoringFunction,
+        replace: bool = True,
+        *,
+        freeze: bool = False,
+    ) -> str:
         """Add a scoring function to the catalogue; returns its name."""
-        self._functions.register(function, replace=replace)
-        return function.name
+        try:
+            return self.catalog.register(
+                function, kind=ResourceKind.FUNCTION, replace=replace, freeze=freeze
+            ).name
+        except CatalogError as error:
+            raise ServiceError(str(error)) from None
 
-    def register_marketplace(self, marketplace: Marketplace) -> str:
-        """Register a marketplace plus its workers dataset and job functions."""
-        if not marketplace.name:
-            raise ServiceError("a marketplace needs a non-empty name to be registered")
-        self._marketplaces[marketplace.name] = marketplace
-        self.register_dataset(marketplace.workers, name=marketplace.name)
+    def register_marketplace(
+        self, marketplace: Marketplace, *, replace: bool = True, freeze: bool = False
+    ) -> str:
+        """Register a marketplace plus its workers dataset and job functions.
+
+        ``replace`` governs the satellite registrations too: with
+        ``replace=False`` a job function whose name is already taken by
+        *different* content raises (after the marketplace and workers entries
+        have landed — registration is not transactional).  ``freeze`` pins
+        only the marketplace entry itself; job functions may be shared with
+        other marketplaces, so they are never frozen implicitly.
+        """
+        try:
+            name = self.catalog.register(
+                marketplace, kind=ResourceKind.MARKETPLACE,
+                replace=replace, freeze=freeze,
+            ).name
+        except CatalogError as error:
+            raise ServiceError(str(error)) from None
+        self.register_dataset(marketplace.workers, name=name, replace=replace)
         for job in marketplace:
-            self.register_function(job.function, replace=True)
-        return marketplace.name
+            self.register_function(job.function, replace=replace)
+        return name
+
+    def register_formulation(
+        self,
+        formulation: Formulation,
+        name: Optional[str] = None,
+        *,
+        replace: bool = True,
+        freeze: bool = False,
+    ) -> str:
+        """Add a named formulation to the catalogue; returns its name."""
+        try:
+            return self.catalog.register(
+                formulation, name=name or formulation.name,
+                kind=ResourceKind.FORMULATION, replace=replace, freeze=freeze,
+            ).name
+        except CatalogError as error:
+            raise ServiceError(str(error)) from None
 
     @property
     def dataset_names(self) -> Tuple[str, ...]:
-        return tuple(self._datasets)
+        return self.catalog.names(ResourceKind.DATASET)
 
     @property
     def function_names(self) -> Tuple[str, ...]:
-        return self._functions.names
+        return self.catalog.names(ResourceKind.FUNCTION)
 
     @property
     def marketplace_names(self) -> Tuple[str, ...]:
-        return tuple(self._marketplaces)
+        return self.catalog.names(ResourceKind.MARKETPLACE)
 
-    def dataset(self, name: str) -> Dataset:
+    @property
+    def formulation_names(self) -> Tuple[str, ...]:
+        return self.catalog.names(ResourceKind.FORMULATION)
+
+    def dataset(self, ref: str) -> Dataset:
+        """Resolve a dataset by name or content-fingerprint prefix."""
         try:
-            return self._datasets[name]
-        except KeyError:
-            raise ServiceError(
-                f"unknown dataset {name!r}; registered: "
-                f"{', '.join(sorted(self._datasets)) or '(none)'}"
-            ) from None
+            return self.catalog.resolve(ResourceKind.DATASET, ref)  # type: ignore[return-value]
+        except CatalogError as error:
+            raise ServiceError(str(error)) from None
 
-    def function(self, name: str) -> ScoringFunction:
-        if name not in self._functions:
-            raise ServiceError(
-                f"unknown scoring function {name!r}; registered: "
-                f"{', '.join(sorted(self._functions.names)) or '(none)'}"
-            )
-        return self._functions.get(name)
-
-    def marketplace(self, name: str) -> Marketplace:
+    def function(self, ref: str) -> ScoringFunction:
+        """Resolve a scoring function by name or content-fingerprint prefix."""
         try:
-            return self._marketplaces[name]
-        except KeyError:
-            raise ServiceError(
-                f"unknown marketplace {name!r}; registered: "
-                f"{', '.join(sorted(self._marketplaces)) or '(none)'}"
-            ) from None
+            return self.catalog.resolve(ResourceKind.FUNCTION, ref)  # type: ignore[return-value]
+        except CatalogError as error:
+            raise ServiceError(str(error)) from None
+
+    def marketplace(self, ref: str) -> Marketplace:
+        """Resolve a marketplace by name or content-fingerprint prefix."""
+        try:
+            return self.catalog.resolve(ResourceKind.MARKETPLACE, ref)  # type: ignore[return-value]
+        except CatalogError as error:
+            raise ServiceError(str(error)) from None
+
+    def formulation(self, ref: str) -> Formulation:
+        """Resolve a registered formulation by name or fingerprint prefix."""
+        try:
+            return self.catalog.resolve(ResourceKind.FORMULATION, ref)  # type: ignore[return-value]
+        except CatalogError as error:
+            raise ServiceError(str(error)) from None
 
     @property
     def cache_stats(self) -> CacheStats:
@@ -395,19 +480,6 @@ class FairnessService:
 
     # -- cached role workflows -------------------------------------------------
 
-    def _marketplace_fingerprint(self, marketplace: Marketplace) -> str:
-        parts = [fingerprint_dataset(marketplace.workers)]
-        for job in marketplace:
-            parts.append(
-                combine_fingerprints(
-                    "job",
-                    fingerprint_value(job.title),
-                    fingerprint_function(job.function),
-                    fingerprint_value(job.candidate_filter.describe()),
-                )
-            )
-        return combine_fingerprints("marketplace", *parts)
-
     def _resolve_marketplace(self, marketplace: Union[str, Marketplace]) -> Marketplace:
         if isinstance(marketplace, str):
             return self.marketplace(marketplace)
@@ -425,7 +497,7 @@ class FairnessService:
         market = self._resolve_marketplace(marketplace)
         key = combine_fingerprints(
             "audit-report",
-            self._marketplace_fingerprint(market),
+            fingerprint_marketplace(market),
             fingerprint_formulation(formulation),
             fingerprint_value(
                 {
@@ -456,23 +528,29 @@ class FairnessService:
         sweep_steps: int = 5,
         formulation: Formulation = MOST_UNFAIR_AVG_EMD,
         *,
+        attributes: Optional[Sequence[str]] = None,
         min_partition_size: int = 1,
     ) -> JobOwnerReport:
         """Memoised JOB OWNER workflow (weight sweep over one job)."""
         market = self._resolve_marketplace(marketplace)
         key = combine_fingerprints(
             "job-owner",
-            self._marketplace_fingerprint(market),
+            fingerprint_marketplace(market),
             fingerprint_formulation(formulation),
             fingerprint_value(
                 {
                     "job_title": job_title,
                     "sweep_steps": sweep_steps,
+                    "attributes": None if attributes is None else list(attributes),
                     "min_partition_size": min_partition_size,
                 }
             ),
         )
-        owner = JobOwner(formulation=formulation, min_partition_size=min_partition_size)
+        owner = JobOwner(
+            formulation=formulation,
+            attributes=attributes,
+            min_partition_size=min_partition_size,
+        )
         report, _ = self.cache.get_or_compute(
             key, lambda: owner.explore_job(market, job_title, sweep_steps=sweep_steps)
         )
@@ -483,6 +561,7 @@ class FairnessService:
         group: Mapping[str, object],
         marketplaces: Sequence[Union[str, Marketplace]],
         job_title: str,
+        formulation: Formulation = MOST_UNFAIR_AVG_EMD,
     ) -> ReportTable:
         """Memoised END USER workflow: one group, one job, several platforms."""
         markets = [self._resolve_marketplace(market) for market in marketplaces]
@@ -490,10 +569,14 @@ class FairnessService:
             "end-user",
             fingerprint_value(dict(group)),
             fingerprint_value(job_title),
-            *[self._marketplace_fingerprint(market) for market in markets],
+            fingerprint_formulation(formulation),
+            *[fingerprint_marketplace(market) for market in markets],
         )
         table, _ = self.cache.get_or_compute(
-            key, lambda: EndUser(dict(group)).compare_marketplaces(markets, job_title)
+            key,
+            lambda: EndUser(dict(group), formulation=formulation).compare_marketplaces(
+                markets, job_title
+            ),
         )
         return table
 
@@ -502,7 +585,7 @@ class FairnessService:
     def request_key(self, request: ServiceRequest) -> str:
         """The cache key a request resolves to (content-based, not name-based).
 
-        Names are resolved through the registry first, so two services that
+        Names are resolved through the catalog first, so two services that
         register *different* data under the same name produce different keys,
         and renaming identical data produces identical keys.
         """
@@ -531,7 +614,7 @@ class FairnessService:
         if isinstance(request, AuditRequest):
             return combine_fingerprints(
                 "request-audit",
-                self._marketplace_fingerprint(self.marketplace(request.marketplace)),
+                fingerprint_marketplace(self.marketplace(request.marketplace)),
                 fingerprint_formulation(request.formulation()),
                 fingerprint_value(
                     {
@@ -563,7 +646,91 @@ class FairnessService:
                     }
                 ),
             )
+        if isinstance(request, BreakdownRequest):
+            function = self._effective_function(
+                self.dataset(request.dataset), request.function, request.use_ranks_only
+            )
+            return combine_fingerprints(
+                "request-breakdown",
+                fingerprint_dataset(self.dataset(request.dataset)),
+                fingerprint_function(function),
+                fingerprint_formulation(request.formulation()),
+                fingerprint_value(
+                    {
+                        "function_name": request.function,
+                        "attributes": None
+                        if request.attributes is None
+                        else list(request.attributes),
+                        "min_partition_size": request.min_partition_size,
+                    }
+                ),
+            )
+        if isinstance(request, SweepRequest):
+            return combine_fingerprints(
+                "request-sweep",
+                fingerprint_dataset(self.dataset(request.dataset)),
+                fingerprint_function(self.function(request.function)),
+                fingerprint_formulation(request.formulation()),
+                fingerprint_value(
+                    {
+                        "function_name": request.function,
+                        # steps is ignored whenever explicit weights are given,
+                        # so it must not split semantically identical requests.
+                        "steps": request.steps if request.weights is None else None,
+                        "weights": None if request.weights is None
+                        else [list(vector) for vector in request.weights],
+                        "attributes": None
+                        if request.attributes is None
+                        else list(request.attributes),
+                        "max_depth": request.max_depth,
+                        "min_partition_size": request.min_partition_size,
+                    }
+                ),
+            )
+        if isinstance(request, EndUserRequest):
+            return combine_fingerprints(
+                "request-end-user",
+                fingerprint_value(dict(request.group)),
+                fingerprint_value(request.job),
+                fingerprint_formulation(request.formulation()),
+                fingerprint_value(list(request.marketplaces)),
+                *[
+                    fingerprint_marketplace(self.marketplace(name))
+                    for name in request.marketplaces
+                ],
+            )
+        if isinstance(request, JobOwnerRequest):
+            return combine_fingerprints(
+                "request-job-owner",
+                fingerprint_marketplace(self.marketplace(request.marketplace)),
+                fingerprint_formulation(request.formulation()),
+                fingerprint_value(
+                    {
+                        "job": request.job,
+                        "sweep_steps": request.sweep_steps,
+                        "min_partition_size": request.min_partition_size,
+                    }
+                ),
+            )
         raise ServiceError(f"unsupported request type {type(request).__name__}")
+
+    def error_result(
+        self,
+        request: ServiceRequest,
+        error: BaseException,
+        key: str = "",
+        elapsed_s: float = 0.0,
+    ) -> ServiceResult:
+        """The protocol-v2 error envelope for a failed request."""
+        return ServiceResult(
+            kind=request.kind,
+            key=key,
+            payload={},
+            cached=False,
+            elapsed_s=elapsed_s,
+            store_stats=self.store_stats.as_dict(),
+            error={"code": _error_code(error), "message": str(error)},
+        )
 
     def execute(self, request: ServiceRequest, key: Optional[str] = None) -> ServiceResult:
         """Execute one request, serving from the cache when possible.
@@ -571,6 +738,13 @@ class FairnessService:
         ``key`` lets callers that already computed :meth:`request_key` (the
         batch executor does, for deduplication) skip recomputing it — for
         rank-only requests the key itself involves ranking the population.
+
+        A request that fails with a library error (unknown resource, invalid
+        formulation, empty candidate pool, ...) returns an **error envelope**
+        — :class:`~repro.service.jobs.ServiceResult` with ``error`` set and
+        an empty payload — rather than raising, so batch and remote callers
+        always get one result per request.  Error results are never cached:
+        registering the missing resource makes the same request succeed.
 
         Note on statistics: a cold quantify/compare request records a miss
         both for its request-level payload entry and for the underlying
@@ -580,9 +754,16 @@ class FairnessService:
         deep copy — mutating it never corrupts the cached value.
         """
         started = time.perf_counter()
-        if key is None:
-            key = self.request_key(request)
-        payload, hit = self.cache.get_or_compute(key, lambda: self._build_payload(request))
+        try:
+            if key is None:
+                key = self.request_key(request)
+            payload, hit = self.cache.get_or_compute(
+                key, lambda: self._build_payload(request)
+            )
+        except FaiRankError as error:
+            return self.error_result(
+                request, error, key=key or "", elapsed_s=time.perf_counter() - started
+            )
         elapsed = time.perf_counter() - started
         return ServiceResult(
             kind=request.kind,
@@ -627,6 +808,14 @@ class FairnessService:
             return self._audit_payload(request)
         if isinstance(request, CompareRequest):
             return self._compare_payload(request)
+        if isinstance(request, BreakdownRequest):
+            return self._breakdown_payload(request)
+        if isinstance(request, SweepRequest):
+            return self._sweep_payload(request)
+        if isinstance(request, EndUserRequest):
+            return self._end_user_payload(request)
+        if isinstance(request, JobOwnerRequest):
+            return self._job_owner_payload(request)
         raise ServiceError(f"unsupported request type {type(request).__name__}")
 
     def _quantify_payload(self, request: QuantifyRequest) -> Dict[str, object]:
@@ -733,4 +922,210 @@ class FairnessService:
             "functions": rows,
             "fairest": by_unfairness[0]["function"],
             "most_unfair": by_unfairness[-1]["function"],
+        }
+
+    def _breakdown_payload(self, request: BreakdownRequest) -> Dict[str, object]:
+        """Per-attribute unfairness of the first-level single-attribute splits."""
+        dataset = self.dataset(request.dataset)
+        function = self._effective_function(
+            dataset, request.function, request.use_ranks_only
+        )
+        formulation = request.formulation()
+        binning = resolve_binning(formulation)
+        attributes = (
+            request.attributes
+            if request.attributes is not None
+            else dataset.schema.protected_names
+        )
+        if not attributes:
+            raise ServiceError(
+                "a breakdown request needs at least one protected attribute "
+                f"(dataset {request.dataset!r} declares none)"
+            )
+        for attribute in attributes:
+            dataset.schema.require_protected(attribute)
+        # One materialized scoring pass serves every attribute's split.
+        store = self.score_store(dataset, function)
+        root = root_partition(dataset)
+        rows: List[Dict[str, object]] = []
+        for attribute in attributes:
+            children = split_partition(root, attribute, store=store)
+            admissible = len(children) >= 2 and all(
+                child.size >= request.min_partition_size for child in children
+            )
+            if len(children) >= 2:
+                histograms = [
+                    child.histogram(function, binning=binning, store=store)
+                    for child in children
+                ]
+                value = formulation.aggregate(
+                    pairwise_distances(histograms, formulation)
+                )
+            else:
+                value = 0.0
+            groups = []
+            for child in children:
+                scores = child.scores(function, store=store)
+                groups.append(
+                    {
+                        "label": child.label,
+                        "size": child.size,
+                        "mean_score": float(scores.mean()) if scores.size else 0.0,
+                    }
+                )
+            rows.append(
+                {
+                    "attribute": attribute,
+                    "unfairness": value,
+                    "admissible": admissible,
+                    "groups": groups,
+                }
+            )
+        ranked = [row for row in rows if row["admissible"]] or rows
+        most = max(ranked, key=lambda row: row["unfairness"])
+        least = min(ranked, key=lambda row: row["unfairness"])
+        return {
+            "dataset": request.dataset,
+            "function": request.function,
+            "formulation": formulation.name,
+            "population": len(dataset),
+            "attributes": rows,
+            "most_unfair_attribute": most["attribute"],
+            "least_unfair_attribute": least["attribute"],
+        }
+
+    def _sweep_payload(self, request: SweepRequest) -> Dict[str, object]:
+        """Weight sweep over a linear function, one shared scoring pass per point.
+
+        Every sweep point resolves its :class:`~repro.core.scorestore.ScoreStore`
+        through the pool *before* running the search, so the summary statistics
+        and the (quantify + breakdown) kernel share one materialized vector —
+        the pool records a hit per point, visible in ``store_stats``.
+        """
+        dataset = self.dataset(request.dataset)
+        base = self.function(request.function)
+        if not isinstance(base, LinearScoringFunction):
+            raise ServiceError(
+                f"sweep requests need a transparent linear scoring function; "
+                f"{request.function!r} is a {type(base).__name__}"
+            )
+        formulation = request.formulation()
+        vectors = request.weight_maps
+        if vectors is None:
+            vectors = tuple(weight_sweep(base.attributes, steps=request.steps))
+        points: List[Dict[str, object]] = []
+        for index, weights in enumerate(vectors):
+            # An explicit vector fully specifies the variant's weights
+            # (normalized; attributes it omits get weight 0) — it is NOT
+            # merged into the base function's weights, so the client always
+            # gets exactly the function it asked for.
+            variant = LinearScoringFunction(
+                dict(weights), name=f"{base.name}@sweep{index}"
+            )
+            store = self.score_store(dataset, variant)
+            vector = store.vector()
+            served = self.quantify_cached(
+                dataset,
+                variant,
+                formulation,
+                attributes=request.attributes,
+                max_depth=request.max_depth,
+                min_partition_size=request.min_partition_size,
+            )
+            points.append(
+                {
+                    "weights": dict(variant.weights),
+                    "unfairness": served.result.unfairness,
+                    "groups": len(served.result.partitioning),
+                    "most_favored": served.breakdown.most_favored,
+                    "least_favored": served.breakdown.least_favored,
+                    "mean_score": float(vector.mean()),
+                    "splits_evaluated": served.result.splits_evaluated,
+                }
+            )
+        fairest = min(range(len(points)), key=lambda i: points[i]["unfairness"])
+        most_unfair = max(range(len(points)), key=lambda i: points[i]["unfairness"])
+        return {
+            "dataset": request.dataset,
+            "function": request.function,
+            "formulation": formulation.name,
+            "population": len(dataset),
+            "points": points,
+            "fairest_index": fairest,
+            "fairest_weights": points[fairest]["weights"],
+            "most_unfair_index": most_unfair,
+        }
+
+    def _end_user_payload(self, request: EndUserRequest) -> Dict[str, object]:
+        group = request.group_map
+        formulation = request.formulation()
+        user = EndUser(group, formulation=formulation)
+        outcomes: List[Dict[str, object]] = []
+        for name in request.marketplaces:
+            market = self.marketplace(name)
+            if request.job not in market:
+                continue
+            outcome = user.assess_job(market, request.job)
+            outcomes.append(
+                {
+                    "marketplace": name,
+                    "job": outcome.job_title,
+                    "group_size": outcome.group_size,
+                    "population_size": outcome.population_size,
+                    "mean_score": outcome.mean_score,
+                    "population_mean_score": outcome.population_mean_score,
+                    "score_gap": outcome.score_gap,
+                    "mean_rank": outcome.mean_rank,
+                    "exposure_share": outcome.exposure_share,
+                    "emd_vs_rest": outcome.emd_vs_rest,
+                    "flagged_unfair": outcome.flagged_unfair,
+                }
+            )
+        if not outcomes:
+            raise ServiceError(
+                f"none of the marketplaces ({', '.join(request.marketplaces)}) "
+                f"offers a job titled {request.job!r}"
+            )
+        best = max(outcomes, key=lambda row: row["score_gap"])
+        worst = min(outcomes, key=lambda row: row["score_gap"])
+        return {
+            "group": dict(group),
+            "job": request.job,
+            "formulation": formulation.name,
+            "marketplaces": list(request.marketplaces),
+            "outcomes": outcomes,
+            "best_marketplace": best["marketplace"],
+            "worst_marketplace": worst["marketplace"],
+        }
+
+    def _job_owner_payload(self, request: JobOwnerRequest) -> Dict[str, object]:
+        formulation = request.formulation()
+        report = self.explore_job(
+            request.marketplace,
+            request.job,
+            sweep_steps=request.sweep_steps,
+            formulation=formulation,
+            min_partition_size=request.min_partition_size,
+        )
+        variants = [
+            {
+                "variant": evaluation.name,
+                "weights": dict(evaluation.function.weights),
+                "unfairness": evaluation.unfairness,
+                "groups": len(evaluation.partitions),
+                "most_favored": evaluation.most_favored,
+                "least_favored": evaluation.least_favored,
+            }
+            for evaluation in report.evaluations
+        ]
+        recommended = report.fairest
+        most_unfair = report.most_unfair
+        return {
+            "marketplace": request.marketplace,
+            "job": request.job,
+            "formulation": formulation.name,
+            "sweep_steps": request.sweep_steps,
+            "variants": variants,
+            "recommended": None if recommended is None else recommended.name,
+            "most_unfair": None if most_unfair is None else most_unfair.name,
         }

@@ -9,30 +9,34 @@ and comparing panels.
 
 :class:`FaiRankEngine` implements that loop programmatically:
 
-* ``register_dataset`` / ``register_function`` populate the catalogues the
-  Configuration box would list;
+* ``register_dataset`` / ``register_function`` populate the catalogue the
+  Configuration box would list — the engine keeps **no private registry**:
+  every registration and lookup delegates to the single
+  :class:`~repro.catalog.Catalog` owned by the engine's
+  :class:`~repro.service.service.FairnessService`, so resources registered
+  through the engine are immediately servable through raw wire requests,
+  the batch executor and the CLI (and vice versa);
 * ``open_panel(config)`` runs the full pipeline for one configuration and
   returns a :class:`~repro.session.panels.Panel`;
 * ``compare(...)`` renders the multi-panel comparison table;
 * role helpers (``auditor_view`` etc.) connect the engine to the scenario
-  workflows of :mod:`repro.roles`.
+  workflows of :mod:`repro.roles`, resolving marketplaces by registered
+  name through the same catalog and sharing the service's result cache.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.anonymize.kanonymity import GlobalRecodingAnonymizer
 from repro.data.dataset import Dataset
 from repro.data.filters import TrueFilter, apply_filter
-from repro.errors import SessionError
+from repro.errors import FaiRankError, SessionError
 from repro.marketplace.entities import Marketplace
-from repro.roles.auditor import AuditReport, Auditor
-from repro.roles.end_user import EndUser
-from repro.roles.job_owner import JobOwner, JobOwnerReport
+from repro.roles.auditor import AuditReport
+from repro.roles.job_owner import JobOwnerReport
 from repro.roles.report import ReportTable
 from repro.scoring.base import ScoringFunction
-from repro.scoring.library import ScoringLibrary
 from repro.scoring.rank import OpaqueScoringFunction, RankDerivedScorer
 from repro.service.cache import CacheStats
 from repro.service.service import FairnessService
@@ -43,19 +47,18 @@ __all__ = ["FaiRankEngine"]
 
 
 class FaiRankEngine:
-    """Headless FaiRank system: dataset/function catalogues plus panels.
+    """Headless FaiRank system: a shared catalogue plus interactive panels.
 
     The compute step of every panel goes through a
     :class:`~repro.service.service.FairnessService`, so re-opening a panel
     with a semantically identical configuration (same population, same
     weights, same formulation) is served from the fingerprint-keyed cache
     instead of re-running the search.  Pass a shared service to let several
-    engines (or a batch executor) reuse one cache.
+    engines (or a batch executor) reuse one cache *and one catalogue* —
+    the engine holds no dataset/function dicts of its own.
     """
 
     def __init__(self, service: Optional[FairnessService] = None) -> None:
-        self._datasets: Dict[str, Dataset] = {}
-        self._functions = ScoringLibrary()
         self._panels: Dict[str, Panel] = {}
         self._panel_counter = 0
         self._anonymizer = GlobalRecodingAnonymizer()
@@ -67,55 +70,87 @@ class FaiRankEngine:
         return self._service
 
     @property
+    def catalog(self):
+        """The single resource registry (owned by the backing service)."""
+        return self._service.catalog
+
+    @property
     def cache_stats(self) -> CacheStats:
         """Result-cache effectiveness across this engine's panels."""
         return self._service.cache_stats
 
     # -- catalogues (the Configuration box) ---------------------------------------
 
-    def register_dataset(self, dataset: Dataset, name: Optional[str] = None) -> str:
+    def register_dataset(
+        self,
+        dataset: Dataset,
+        name: Optional[str] = None,
+        *,
+        replace: bool = True,
+        freeze: bool = False,
+    ) -> str:
         """Add a dataset to the catalogue; returns the name it is registered under."""
-        key = name or dataset.name
-        if not key:
-            raise SessionError("a dataset needs a non-empty name to be registered")
-        self._datasets[key] = dataset
-        return key
+        try:
+            return self._service.register_dataset(
+                dataset, name=name, replace=replace, freeze=freeze
+            )
+        except FaiRankError as error:
+            raise SessionError(str(error)) from None
 
-    def register_function(self, function: ScoringFunction, replace: bool = True) -> str:
-        """Add a scoring function to the catalogue; returns its name."""
-        self._functions.register(function, replace=replace)
-        return function.name
+    def register_function(
+        self,
+        function: ScoringFunction,
+        replace: bool = False,
+        *,
+        freeze: bool = False,
+    ) -> str:
+        """Add a scoring function to the catalogue; returns its name.
+
+        Re-registering *identical* content under an existing name is an
+        idempotent no-op.  Registering **different** content under an
+        existing name requires ``replace=True`` (the old behaviour of
+        silently clobbering the entry is gone), and a frozen entry can never
+        be replaced — both raise a :class:`~repro.errors.SessionError`.
+        """
+        try:
+            return self._service.register_function(
+                function, replace=replace, freeze=freeze
+            )
+        except FaiRankError as error:
+            raise SessionError(str(error)) from None
 
     def register_marketplace(self, marketplace: Marketplace) -> Tuple[str, List[str]]:
-        """Register a marketplace's workers and every job's scoring function.
+        """Register a marketplace, its workers and every job's scoring function.
 
         Returns the dataset name and the list of registered function names.
+        The marketplace itself becomes resolvable by name in role shortcuts
+        and AUDIT / END-USER / JOB-OWNER wire requests.
         """
-        dataset_name = self.register_dataset(marketplace.workers, name=marketplace.name)
-        function_names = []
-        for job in marketplace:
-            self.register_function(job.function, replace=True)
-            function_names.append(job.function.name)
-        return dataset_name, function_names
+        try:
+            dataset_name = self._service.register_marketplace(marketplace)
+        except FaiRankError as error:
+            raise SessionError(str(error)) from None
+        return dataset_name, [job.function.name for job in marketplace]
 
     @property
     def dataset_names(self) -> Tuple[str, ...]:
-        return tuple(self._datasets)
+        return self._service.dataset_names
 
     @property
     def function_names(self) -> Tuple[str, ...]:
-        return self._functions.names
+        return self._service.function_names
 
     def dataset(self, name: str) -> Dataset:
         try:
-            return self._datasets[name]
-        except KeyError:
-            raise SessionError(
-                f"unknown dataset {name!r}; registered: {', '.join(sorted(self._datasets))}"
-            ) from None
+            return self._service.dataset(name)
+        except FaiRankError as error:
+            raise SessionError(str(error)) from None
 
     def function(self, name: str) -> ScoringFunction:
-        return self._functions.get(name)
+        try:
+            return self._service.function(name)
+        except FaiRankError as error:
+            raise SessionError(str(error)) from None
 
     # -- the pipeline of Figure 1 ----------------------------------------------------
 
@@ -202,21 +237,34 @@ class FaiRankEngine:
 
     # -- role shortcuts ---------------------------------------------------------------
 
-    def auditor_view(self, marketplace: Marketplace, **auditor_kwargs) -> AuditReport:
-        """Run the AUDITOR scenario on a marketplace."""
-        return Auditor(**auditor_kwargs).audit_marketplace(marketplace)
+    def auditor_view(
+        self, marketplace: Union[str, Marketplace], **auditor_kwargs
+    ) -> AuditReport:
+        """Run the AUDITOR scenario on a marketplace (live object or registered name).
+
+        Routed through the service, so repeated audits of the same platform
+        are served from the result cache and share materialized scoring
+        passes via the score-store pool.
+        """
+        return self._service.audit_marketplace(marketplace, **auditor_kwargs)
 
     def job_owner_view(
-        self, marketplace: Marketplace, job_title: str, sweep_steps: int = 5, **owner_kwargs
+        self,
+        marketplace: Union[str, Marketplace],
+        job_title: str,
+        sweep_steps: int = 5,
+        **owner_kwargs,
     ) -> JobOwnerReport:
-        """Run the JOB OWNER scenario for one job."""
-        return JobOwner(**owner_kwargs).explore_job(marketplace, job_title, sweep_steps=sweep_steps)
+        """Run the JOB OWNER scenario for one job (cached, name-resolvable)."""
+        return self._service.explore_job(
+            marketplace, job_title, sweep_steps=sweep_steps, **owner_kwargs
+        )
 
     def end_user_view(
         self,
         group: Dict[str, object],
-        marketplaces: Sequence[Marketplace],
+        marketplaces: Sequence[Union[str, Marketplace]],
         job_title: str,
     ) -> ReportTable:
         """Run the END-USER scenario: one group, one job, several marketplaces."""
-        return EndUser(group).compare_marketplaces(list(marketplaces), job_title)
+        return self._service.end_user_view(group, list(marketplaces), job_title)
