@@ -1,0 +1,163 @@
+"""HTTP front end — concurrent mixed-kind load against one server process.
+
+Boots one :class:`~repro.server.http.FairnessHTTPServer` over a populated
+service and drives **>= 64 concurrent HTTP requests spanning every
+protocol-v2 kind** at it through :class:`~repro.server.client.HTTPFairnessClient`:
+
+* every warm-cache HTTP response must be **byte-identical**
+  (``ServiceResult.canonical()``) to the in-process result for the same
+  request — the HTTP layer adds transport, never semantics;
+* per-request wall-clock latency percentiles (p50 / p90 / p99 / max) are
+  written to ``BENCH_server.json`` (uploaded by CI's bench job) so the
+  serving layer's trajectory is tracked per commit.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List
+
+from repro.errors import ServiceError
+from repro.experiments.workloads import crowdsourcing_marketplace, synthetic_population
+from repro.scoring.linear import LinearScoringFunction
+from repro.server import FairnessHTTPServer, HTTPFairnessClient
+from repro.service import (
+    AuditRequest,
+    BreakdownRequest,
+    CompareRequest,
+    EndUserRequest,
+    FairnessService,
+    JobOwnerRequest,
+    QuantifyRequest,
+    ServiceRequest,
+    SweepRequest,
+)
+
+from benchmarks.results import REPO_ROOT, write_results
+
+_RESULTS_PATH = REPO_ROOT / "BENCH_server.json"
+
+#: The acceptance floor: at least this many concurrent in-flight requests.
+CONCURRENT_REQUESTS = 64
+
+
+def build_service() -> FairnessService:
+    """A deployment registry mixing datasets, functions and a marketplace."""
+    service = FairnessService()
+    service.register_dataset(synthetic_population(size=500, seed=7), name="synthetic-500")
+    service.register_dataset(synthetic_population(size=200, seed=7), name="synthetic-200")
+    service.register_function(
+        LinearScoringFunction({"Language Test": 0.5, "Rating": 0.5}, name="balanced")
+    )
+    service.register_function(
+        LinearScoringFunction({"Language Test": 0.8, "Rating": 0.2}, name="language-heavy")
+    )
+    service.register_marketplace(crowdsourcing_marketplace(size=120, seed=7))
+    return service
+
+
+def mixed_requests(total: int) -> List[ServiceRequest]:
+    """``total`` requests cycling through all seven kinds (with duplicates)."""
+    cycle: List[ServiceRequest] = [
+        QuantifyRequest(dataset="synthetic-500", function="balanced",
+                        min_partition_size=5),
+        QuantifyRequest(dataset="synthetic-200", function="language-heavy",
+                        min_partition_size=5),
+        AuditRequest(marketplace="crowdsourcing-sim", min_partition_size=5),
+        CompareRequest(dataset="synthetic-200",
+                       functions=("balanced", "language-heavy"),
+                       min_partition_size=5),
+        BreakdownRequest(dataset="synthetic-500", function="balanced"),
+        SweepRequest(dataset="synthetic-200", function="balanced", steps=3,
+                     min_partition_size=5),
+        EndUserRequest(group=(("Gender", "Female"),),
+                       marketplaces=("crowdsourcing-sim",),
+                       job="Content writing"),
+        JobOwnerRequest(marketplace="crowdsourcing-sim", job="Data labelling",
+                        sweep_steps=3, min_partition_size=5),
+    ]
+    return [cycle[index % len(cycle)] for index in range(total)]
+
+
+def _percentile(sorted_values: List[float], fraction: float) -> float:
+    index = min(len(sorted_values) - 1, round(fraction * (len(sorted_values) - 1)))
+    return sorted_values[index]
+
+
+def test_concurrent_mixed_kind_http_load():
+    service = build_service()
+    requests = mixed_requests(CONCURRENT_REQUESTS)
+    assert len(requests) >= 64
+    assert len({request.kind for request in requests}) == 7
+
+    # In-process reference results; computing them also warms the shared
+    # cache, so the HTTP wave below measures warm serving latency.
+    reference = [service.execute(request).canonical() for request in requests]
+
+    server = FairnessHTTPServer(service, port=0)
+    server.serve_in_background()
+    try:
+        client = HTTPFairnessClient(server.base_url, timeout=120.0)
+
+        def fire(index: int):
+            request = requests[index]
+            started = time.perf_counter()
+            for attempt in range(3):
+                try:
+                    result = client._run(request)
+                    break
+                except (ConnectionResetError, ServiceError) as error:
+                    # A reset under the initial 64-way connect burst is
+                    # transport noise, not a serving failure (connect-phase
+                    # resets surface as the client's "cannot reach" error);
+                    # retry counts against the request's measured latency.
+                    connect_noise = isinstance(error, ConnectionResetError) or (
+                        "cannot reach" in str(error)
+                    )
+                    if attempt == 2 or not connect_noise:
+                        raise
+            elapsed = time.perf_counter() - started
+            return index, result, elapsed
+
+        started = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=CONCURRENT_REQUESTS) as pool:
+            outcomes = list(pool.map(fire, range(len(requests))))
+        wall_clock = time.perf_counter() - started
+    finally:
+        server.shutdown()
+        server.server_close()
+
+    assert len(outcomes) == len(requests)
+    mismatched = [
+        requests[index].kind
+        for index, result, _ in outcomes
+        if result.canonical() != reference[index]
+    ]
+    assert not mismatched, f"HTTP responses diverged from in-process: {mismatched}"
+    assert all(result.ok for _, result, _ in outcomes)
+
+    latencies = sorted(elapsed for _, _, elapsed in outcomes)
+    served_by_kind: Dict[str, int] = {}
+    for request in requests:
+        served_by_kind[request.kind] = served_by_kind.get(request.kind, 0) + 1
+    block = {
+        "requests": len(requests),
+        "concurrency": CONCURRENT_REQUESTS,
+        "kinds": served_by_kind,
+        "wall_clock_s": round(wall_clock, 4),
+        "throughput_rps": round(len(requests) / wall_clock, 1),
+        "latency_ms": {
+            "p50": round(_percentile(latencies, 0.50) * 1000, 2),
+            "p90": round(_percentile(latencies, 0.90) * 1000, 2),
+            "p99": round(_percentile(latencies, 0.99) * 1000, 2),
+            "max": round(latencies[-1] * 1000, 2),
+        },
+        "byte_identical_to_in_process": True,
+    }
+    write_results(_RESULTS_PATH, {"server_concurrent_mixed_load": block})
+    print(
+        f"\n{len(requests)} concurrent mixed-kind HTTP requests in "
+        f"{wall_clock * 1000:.0f} ms ({block['throughput_rps']} rps); "
+        f"p50 {block['latency_ms']['p50']} ms, p99 {block['latency_ms']['p99']} ms"
+    )

@@ -1,0 +1,199 @@
+"""End-to-end CI gate for the HTTP front end.
+
+Exercises the full deployment workflow exactly as an operator would:
+
+1. build a catalog snapshot with ``fairank catalog --save``;
+2. boot ``fairank serve --catalog <snapshot> --port 0`` as a real
+   subprocess and parse the bound port from its stdout;
+3. fire one request per protocol-v2 kind (all seven) plus a mixed batch
+   through :class:`~repro.server.client.HTTPFairnessClient`;
+4. assert every HTTP response is byte-identical (``ServiceResult.canonical``)
+   to the in-process :class:`~repro.service.client.FairnessClient` answer
+   over a service booted from the *same* snapshot;
+5. terminate the server and fail on a non-zero exit.
+
+Exit code 0 only when every step passed.  The CI job wraps this script in
+``timeout``, so a server that never binds (hung port) or never answers also
+fails the gate.  Run locally with::
+
+    PYTHONPATH=src python scripts/ci_serve_e2e.py
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import re
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+#: Environment for the fairank subprocesses (they need src importable too).
+SUBPROCESS_ENV = dict(
+    os.environ,
+    PYTHONPATH=os.pathsep.join(
+        [str(REPO_ROOT / "src")]
+        + ([os.environ["PYTHONPATH"]] if os.environ.get("PYTHONPATH") else [])
+    ),
+)
+
+from repro.catalog import Catalog  # noqa: E402
+from repro.server import HTTPFairnessClient  # noqa: E402
+from repro.service import (  # noqa: E402
+    AuditRequest,
+    FairnessClient,
+    FairnessService,
+    QuantifyRequest,
+    SweepRequest,
+)
+
+MARKET_SIZE = "60"
+BOOT_TIMEOUT_S = 60.0
+
+
+def build_snapshot(path: Path) -> None:
+    subprocess.run(
+        [
+            sys.executable, "-m", "repro.cli", "catalog",
+            "--save", str(path), "--market-size", MARKET_SIZE,
+        ],
+        check=True,
+        timeout=120,
+        env=SUBPROCESS_ENV,
+    )
+    print(f"[e2e] snapshot built: {path} ({path.stat().st_size} bytes)")
+
+
+def boot_server(snapshot: Path) -> "tuple[subprocess.Popen, int]":
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--catalog", str(snapshot), "--port", "0",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=SUBPROCESS_ENV,
+    )
+    assert process.stdout is not None
+    # Read stdout on a thread: a server that binds but never prints would
+    # otherwise block readline forever and the deadline would never fire.
+    lines: "queue.Queue[str | None]" = queue.Queue()
+
+    def pump() -> None:
+        for line in process.stdout:  # type: ignore[union-attr]
+            lines.put(line)
+        lines.put(None)
+
+    threading.Thread(target=pump, daemon=True).start()
+    deadline = time.monotonic() + BOOT_TIMEOUT_S
+    while True:
+        try:
+            line = lines.get(timeout=max(0.1, deadline - time.monotonic()))
+        except queue.Empty:
+            break
+        if line is None:  # stdout closed: the server exited before binding
+            break
+        print(f"[serve] {line.rstrip()}")
+        match = re.search(r"http://[\d.]+:(\d+)", line)
+        if match:
+            return process, int(match.group(1))
+        if time.monotonic() > deadline:
+            break
+    process.kill()
+    raise SystemExit(
+        f"[e2e] FAIL: server never announced a bound port within {BOOT_TIMEOUT_S:.0f}s"
+    )
+
+
+def scenario_calls(client):
+    """One call per protocol-v2 request kind, against either client."""
+    return [
+        ("quantify", lambda: client.quantify("table1", "table1-f")),
+        ("audit", lambda: client.audit("crowdsourcing-sim", min_partition_size=5)),
+        ("compare", lambda: client.compare("table1", ["table1-f", "balanced"])),
+        ("breakdown", lambda: client.breakdown("table1", "table1-f")),
+        ("sweep", lambda: client.sweep("table1", "table1-f", steps=3)),
+        (
+            "end_user",
+            lambda: client.end_user(
+                {"Gender": "Female"}, ["crowdsourcing-sim"], "Content writing"
+            ),
+        ),
+        (
+            "job_owner",
+            lambda: client.job_owner(
+                "crowdsourcing-sim", "Content writing", sweep_steps=3
+            ),
+        ),
+    ]
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory() as workdir:
+        snapshot = Path(workdir) / "deployment.json"
+        build_snapshot(snapshot)
+
+        # The in-process reference boots from the *same* snapshot, so any
+        # divergence is the HTTP layer's fault, not the registry's.
+        reference = FairnessClient(FairnessService(catalog=Catalog.load(snapshot)))
+
+        process, port = boot_server(snapshot)
+        failures = 0
+        try:
+            remote = HTTPFairnessClient(f"http://127.0.0.1:{port}", timeout=60.0)
+            health = remote.health()
+            assert health["status"] == "ok", health
+            print(f"[e2e] health ok, catalog: {health['catalog']}")
+
+            for (kind, via_http), (_, in_process) in zip(
+                scenario_calls(remote), scenario_calls(reference)
+            ):
+                http_result = via_http()
+                local_result = in_process()
+                if http_result.canonical() == local_result.canonical():
+                    print(f"[e2e] {kind}: byte-identical "
+                          f"({http_result.elapsed_s * 1000:.1f} ms)")
+                else:
+                    failures += 1
+                    print(f"[e2e] FAIL: {kind} diverged between HTTP and in-process")
+
+            batch_requests = [
+                QuantifyRequest(dataset="table1", function="table1-f"),
+                SweepRequest(dataset="table1", function="table1-f", steps=3),
+                AuditRequest(marketplace="crowdsourcing-sim", min_partition_size=5),
+            ]
+            via_batch = remote.batch(batch_requests)
+            serial = [reference.service.execute(request) for request in batch_requests]
+            for request, http_result, local_result in zip(
+                batch_requests, via_batch, serial
+            ):
+                if http_result.canonical() != local_result.canonical():
+                    failures += 1
+                    print(f"[e2e] FAIL: batched {request.kind} diverged")
+            print(f"[e2e] batch of {len(batch_requests)}: "
+                  f"{len(via_batch)} envelopes, order preserved")
+        finally:
+            process.terminate()
+            try:
+                process.wait(timeout=15)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                failures += 1
+                print("[e2e] FAIL: server did not exit after SIGTERM")
+
+        if failures:
+            print(f"[e2e] FAILED with {failures} mismatch(es)")
+            return 1
+        print("[e2e] PASS: HTTP front end is byte-identical to in-process serving")
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

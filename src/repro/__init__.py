@@ -24,6 +24,9 @@ re-exported here covers the most common entry points:
   :class:`~repro.service.BreakdownRequest`, :class:`~repro.service.SweepRequest`,
   :class:`~repro.service.EndUserRequest`, :class:`~repro.service.JobOwnerRequest`)
   and the result cache (:class:`~repro.service.LRUCache`)
+* server: :class:`~repro.server.FairnessHTTPServer` (protocol v2 over REST)
+  and :class:`~repro.server.HTTPFairnessClient` (same method surface as the
+  in-process client, carried over HTTP)
 
 See README.md for a quickstart and DESIGN.md for the system inventory.
 """
@@ -64,9 +67,10 @@ from repro.service import (
     SweepRequest,
     request_from_json,
 )
+from repro.server import FairnessHTTPServer, HTTPFairnessClient
 from repro.session import FaiRankEngine, SessionConfig
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -103,6 +107,8 @@ __all__ = [
     "ResourceKind",
     "FairnessService",
     "FairnessClient",
+    "FairnessHTTPServer",
+    "HTTPFairnessClient",
     "BatchExecutor",
     "LRUCache",
     "CacheStats",

@@ -21,7 +21,11 @@ plain dict:
   deployment can pin the resources live clients depend on;
 * **JSON-able listings** — :meth:`Catalog.describe` renders the whole
   catalogue (name, kind, fingerprint, per-kind metadata such as row counts
-  and scoring arity) for the ``fairank catalog`` CLI and remote clients.
+  and scoring arity) for the ``fairank catalog`` CLI and remote clients;
+* **snapshot persistence** — :meth:`Catalog.save` / :meth:`Catalog.load`
+  write and rebuild the whole registry as one JSON file (see
+  :mod:`repro.snapshot`), so ``fairank serve --catalog snapshot.json`` can
+  boot a full deployment.
 
 The catalog is thread-safe: the service's batch executor registers and
 resolves from worker threads.
@@ -32,7 +36,8 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass, field, replace as dataclass_replace
 from enum import Enum
-from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+from pathlib import Path
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple, Union
 
 from repro.errors import CatalogError
 
@@ -322,6 +327,38 @@ class Catalog:
                 kind.value: len(entries) for kind, entries in self._entries.items()
             }
         return {"resources": listing, "counts": counts}
+
+    # -- snapshot persistence --------------------------------------------------
+
+    def save(
+        self,
+        path: Union[str, Path],
+        *,
+        dataset_sources: Optional[Mapping[str, Mapping[str, object]]] = None,
+    ) -> Dict[str, object]:
+        """Write this catalogue to a JSON snapshot file (see :mod:`repro.snapshot`).
+
+        Datasets are embedded inline unless ``dataset_sources`` names a loader
+        reference for them; scoring functions are saved by their weights,
+        marketplaces by workers + jobs, formulations by name.  Returns the
+        snapshot document that was written.
+        """
+        from repro.snapshot import save_catalog
+
+        with self._lock:
+            return save_catalog(self, path, dataset_sources=dataset_sources)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Catalog":
+        """Rebuild a catalogue from a snapshot file written by :meth:`save`.
+
+        Raises :class:`~repro.errors.CatalogError` for unreadable, truncated
+        or unknown-version snapshots, and for entries whose reconstructed
+        content no longer matches the fingerprint recorded at save time.
+        """
+        from repro.snapshot import load_catalog
+
+        return load_catalog(path)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         with self._lock:

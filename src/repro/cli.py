@@ -12,8 +12,11 @@ Six subcommands cover the common entry points without writing any Python:
   service requests (all request kinds) through the parallel batch executor
   and report per-request latency, errors, and cache statistics;
 * ``fairank catalog`` — list the resources (name, kind, fingerprint prefix,
-  rows/arity) of the registry ``serve-batch`` requests resolve against, and
-  optionally check which resources a batch file references.
+  rows/arity) of the registry ``serve-batch`` requests resolve against,
+  optionally check which resources a batch file references, and optionally
+  write the registry to a catalog snapshot file (``--save``);
+* ``fairank serve`` — boot the HTTP front end (wire protocol v2 over REST)
+  on the built-in registry or on a catalog snapshot (``--catalog``).
 
 The CLI is a thin veneer over the public API; everything it does can be done
 programmatically (see README.md).
@@ -131,7 +134,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--requests", default=None,
         help="optional JSON batch file: additionally report whether each "
              "request's resources resolve in this registry")
+    catalog_parser.add_argument(
+        "--save", default=None, metavar="PATH",
+        help="write this registry to a catalog snapshot JSON file "
+             "(bootable via 'fairank serve --catalog PATH')")
     _add_registry_arguments(catalog_parser)
+
+    # -- serve ------------------------------------------------------------------
+    http_parser = subparsers.add_parser(
+        "serve",
+        help="serve wire protocol v2 over HTTP (one POST endpoint per request kind)",
+    )
+    http_parser.add_argument("--host", default="127.0.0.1",
+                             help="bind address (default: 127.0.0.1)")
+    http_parser.add_argument("--port", type=int, default=8080,
+                             help="bind port; 0 picks a free ephemeral port")
+    http_parser.add_argument(
+        "--catalog", default=None, metavar="PATH", dest="catalog_path",
+        help="boot the deployment registry from a catalog snapshot file "
+             "(default: the same built-in registry as serve-batch)")
+    http_parser.add_argument("--workers", type=int, default=None,
+                             help="thread-pool width of /v2/batch (default: auto)")
+    http_parser.add_argument("--verbose", action="store_true",
+                             help="log every request line to stderr")
+    _add_registry_arguments(http_parser)
 
     return parser
 
@@ -377,6 +403,48 @@ def _cmd_catalog(args: argparse.Namespace) -> int:
             print(f"{unresolved} reference(s) are missing from this registry")
         else:
             print("every request resolves against this registry")
+
+    if args.save:
+        service.catalog.save(args.save)
+        print(f"\ncatalog snapshot written to {args.save}")
+    return 0
+
+
+def _serve_service(args: argparse.Namespace):
+    """The service a ``fairank serve`` process answers from."""
+    if args.catalog_path:
+        from repro.catalog import Catalog
+        from repro.service import FairnessService
+
+        return FairnessService(catalog=Catalog.load(args.catalog_path))
+    return _serve_batch_service(args)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.server import FairnessHTTPServer
+
+    service = _serve_service(args)
+    server = FairnessHTTPServer(
+        service,
+        host=args.host,
+        port=args.port,
+        max_workers=args.workers,
+        verbose=args.verbose,
+    )
+    counts = service.catalog.describe()["counts"]
+    rendered = ", ".join(f"{count} {kind}(s)" for kind, count in counts.items())
+    source = args.catalog_path or "built-in registry"
+    print(f"catalog ({source}): {rendered}")
+    # The port line is machine-readable on purpose: with --port 0 it is the
+    # only way a supervising script learns the bound port.
+    print(f"serving fairness protocol v2 on {server.base_url} (Ctrl-C to stop)",
+          flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.server_close()
     return 0
 
 
@@ -406,6 +474,7 @@ _COMMANDS = {
     "experiments": _cmd_experiments,
     "serve-batch": _cmd_serve_batch,
     "catalog": _cmd_catalog,
+    "serve": _cmd_serve,
 }
 
 

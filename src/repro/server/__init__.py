@@ -1,0 +1,15 @@
+"""HTTP serving surface: wire protocol v2 over REST, stdlib only.
+
+:class:`~repro.server.http.FairnessHTTPServer` exposes one POST endpoint per
+request kind (plus ``/v2/batch``, ``/v2/catalog``, ``/v2/health``) over a
+shared :class:`~repro.service.service.FairnessService`;
+:class:`~repro.server.client.HTTPFairnessClient` is the transport-matching
+client with the exact method surface of the in-process
+:class:`~repro.service.client.FairnessClient`.  ``fairank serve`` is the CLI
+entry point (optionally booting from a catalog snapshot).
+"""
+
+from repro.server.client import HTTPFairnessClient
+from repro.server.http import REQUEST_ENDPOINTS, FairnessHTTPServer
+
+__all__ = ["FairnessHTTPServer", "HTTPFairnessClient", "REQUEST_ENDPOINTS"]

@@ -1,0 +1,357 @@
+"""The HTTP front end: wire protocol v2 over REST, stdlib only.
+
+FaiRank is presented as an *interactive system*: auditors, end users and job
+owners query it live.  :class:`FairnessHTTPServer` is that serving surface —
+a :class:`http.server.ThreadingHTTPServer` (one thread per connection, no
+third-party dependencies) exposing one POST endpoint per protocol-v2 request
+kind plus batch execution and two read-only GETs:
+
+================  ======  ====================================================
+endpoint          method  body / response
+================  ======  ====================================================
+``/v2/quantify``  POST    a :class:`~repro.service.jobs.QuantifyRequest` JSON
+``/v2/audit``     POST    an :class:`~repro.service.jobs.AuditRequest` JSON
+``/v2/compare``   POST    a :class:`~repro.service.jobs.CompareRequest` JSON
+``/v2/breakdown`` POST    a :class:`~repro.service.jobs.BreakdownRequest` JSON
+``/v2/sweep``     POST    a :class:`~repro.service.jobs.SweepRequest` JSON
+``/v2/end_user``  POST    an :class:`~repro.service.jobs.EndUserRequest` JSON
+``/v2/job_owner`` POST    a :class:`~repro.service.jobs.JobOwnerRequest` JSON
+``/v2/batch``     POST    ``{"requests": [...]}`` through the batch executor
+``/v2/catalog``   GET     the catalogue listing (``Catalog.describe()``)
+``/v2/health``    GET     liveness + cache / store-pool / uptime statistics
+================  ======  ====================================================
+
+Every POST body travels through the same :func:`~repro.service.jobs.request_from_json`
+envelopes the batch files and the in-process client use (the ``kind`` field
+may be omitted — the path supplies it), and every response is a
+:meth:`~repro.service.jobs.ServiceResult.to_json` envelope, so HTTP, batch
+and in-process traffic are byte-comparable and share one
+:class:`~repro.service.service.FairnessService` — same cache, same score
+stores, same catalogue.
+
+Status mapping: ``200`` for a served request; ``400`` for a body that does
+not parse into a request; ``404`` for an unknown endpoint or a ``catalog``
+error envelope; ``422`` for any other execution error envelope (the
+structured ``{"code", "message"}`` payload still travels in the body);
+``405`` for a method an endpoint does not speak.  ``/v2/batch`` always
+answers ``200`` with one envelope per slot — per-request failures are
+in-slot, exactly like ``serve-batch``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, List, Optional, Tuple
+from urllib.parse import urlsplit
+
+from repro.errors import FaiRankError, ServiceError
+from repro.service.executor import BatchExecutor
+from repro.service.jobs import PROTOCOL_VERSION, ServiceResult, request_from_json
+from repro.service.service import FairnessService, _error_code
+
+__all__ = ["FairnessHTTPServer", "REQUEST_ENDPOINTS"]
+
+#: The request kinds served as ``POST /v2/<kind>`` (one endpoint per kind).
+REQUEST_ENDPOINTS: Tuple[str, ...] = (
+    "quantify",
+    "audit",
+    "compare",
+    "breakdown",
+    "sweep",
+    "end_user",
+    "job_owner",
+)
+
+#: HTTP status for an execution error envelope, by error code.
+_STATUS_BY_ERROR_CODE = {"catalog": 404}
+_DEFAULT_ERROR_STATUS = 422
+
+
+def _transport_error(code: str, message: str) -> Dict[str, object]:
+    """A bodyless-failure payload (same shape as an envelope's ``error``)."""
+    return {"error": {"code": code, "message": message}}
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes v2 endpoints onto the server's shared FairnessService."""
+
+    server: "FairnessHTTPServer"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing --------------------------------------------------------------
+
+    def log_message(self, format: str, *args: object) -> None:
+        """Silence the default per-request stderr logging (opt back in via verbose)."""
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, payload: Dict[str, object]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+        self.server._count_request()
+
+    def _drain_body(self) -> bytes:
+        """Read the request body off the socket.
+
+        Connections are keep-alive (HTTP/1.1), so the body must be consumed
+        on *every* response path — including 404/405 rejections — or the
+        unread bytes would be parsed as the next request line on the same
+        connection.  When the length is unknowable the connection is closed
+        instead.
+        """
+        try:
+            length = int(self.headers.get("Content-Length", 0) or 0)
+        except ValueError:
+            self.close_connection = True
+            raise ServiceError("invalid Content-Length header") from None
+        if length == 0 and self.headers.get("Transfer-Encoding"):
+            # Chunked bodies have no Content-Length; this server does not
+            # decode them, so the connection cannot be reused safely.
+            self.close_connection = True
+            raise ServiceError(
+                "chunked request bodies are not supported; send Content-Length"
+            )
+        return self.rfile.read(length) if length > 0 else b""
+
+    def _read_json_body(self, raw: bytes) -> object:
+        """The parsed JSON request body (raises ServiceError for bad input)."""
+        if not raw:
+            raise ServiceError("request body is empty; expected a JSON object")
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError as error:
+            raise ServiceError(f"request body is not valid JSON: {error}") from None
+
+    # -- GET endpoints ---------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib handler naming
+        try:
+            self._drain_body()  # a GET with a body would desync keep-alive too
+        except ServiceError as error:
+            self._send_json(400, _transport_error(_error_code(error), str(error)))
+            return
+        path = urlsplit(self.path).path.rstrip("/")
+        if path == "/v2/health":
+            self._send_json(200, self.server.health())
+            return
+        if path == "/v2/catalog":
+            self._send_json(200, self.server.service.catalog.describe())
+            return
+        if path == "/v2/batch" or path.removeprefix("/v2/") in REQUEST_ENDPOINTS:
+            self._send_json(
+                405, _transport_error("method", f"{path} only accepts POST")
+            )
+            return
+        self._send_json(
+            404, _transport_error("not_found", f"unknown endpoint {path!r}")
+        )
+
+    # -- POST endpoints --------------------------------------------------------
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib handler naming
+        path = urlsplit(self.path).path.rstrip("/")
+        try:
+            raw = self._drain_body()  # always, even on 404/405 (keep-alive)
+        except ServiceError as error:
+            self._send_json(400, _transport_error(_error_code(error), str(error)))
+            return
+        if path in ("/v2/health", "/v2/catalog"):
+            self._send_json(
+                405, _transport_error("method", f"{path} only accepts GET")
+            )
+            return
+        try:
+            if path == "/v2/batch":
+                self._handle_batch(raw)
+                return
+            kind = path.removeprefix("/v2/")
+            if path.startswith("/v2/") and kind in REQUEST_ENDPOINTS:
+                self._handle_request(kind, raw)
+                return
+            self._send_json(
+                404, _transport_error("not_found", f"unknown endpoint {path!r}")
+            )
+        except ServiceError as error:
+            self._send_json(400, _transport_error(_error_code(error), str(error)))
+        except Exception as error:  # pragma: no cover - defensive 500
+            self._send_json(500, _transport_error("internal", str(error)))
+
+    def _parse_request(self, payload: object, kind: Optional[str] = None):
+        """Build a service request from a JSON body (path kind wins over body)."""
+        if not isinstance(payload, dict):
+            raise ServiceError("a request payload must be a JSON object")
+        envelope = dict(payload)
+        if kind is not None:
+            declared = envelope.get("kind")
+            if declared is not None and declared != kind:
+                raise ServiceError(
+                    f"request body declares kind {declared!r} but was POSTed "
+                    f"to /v2/{kind}"
+                )
+            envelope["kind"] = kind
+        envelope.setdefault("protocol", PROTOCOL_VERSION)
+        return request_from_json(envelope)
+
+    def _handle_request(self, kind: str, raw: bytes) -> None:
+        request = self._parse_request(self._read_json_body(raw), kind)
+        result = self.server.service.execute(request)
+        if result.ok:
+            self._send_json(200, result.to_json())
+            return
+        code = str(result.error.get("code", "error"))
+        status = _STATUS_BY_ERROR_CODE.get(code, _DEFAULT_ERROR_STATUS)
+        self._send_json(status, result.to_json())
+
+    def _handle_batch(self, raw: bytes) -> None:
+        document = self._read_json_body(raw)
+        entries = document.get("requests") if isinstance(document, dict) else document
+        if not isinstance(entries, list) or not entries:
+            raise ServiceError(
+                "a batch body must be a non-empty list of request objects "
+                "(either top-level or under a 'requests' key)"
+            )
+        # A slot whose entry does not even parse gets an error envelope in
+        # place, mirroring the executor's in-slot semantics for bad requests.
+        parsed = []
+        envelopes: Dict[int, ServiceResult] = {}
+        for index, entry in enumerate(entries):
+            try:
+                parsed.append((index, self._parse_request(entry)))
+            except FaiRankError as error:
+                kind = entry.get("kind") if isinstance(entry, dict) else None
+                envelopes[index] = ServiceResult(
+                    kind=str(kind) if kind else "unknown",
+                    key="",
+                    error={"code": _error_code(error), "message": str(error)},
+                )
+        results = self.server.executor.run([request for _, request in parsed])
+        for (index, _), result in zip(parsed, results):
+            envelopes[index] = result
+        self._send_json(
+            200,
+            {
+                "protocol": PROTOCOL_VERSION,
+                "results": [envelopes[i].to_json() for i in range(len(entries))],
+            },
+        )
+
+
+class FairnessHTTPServer(ThreadingHTTPServer):
+    """A threaded HTTP server over one shared :class:`FairnessService`.
+
+    Parameters
+    ----------
+    service:
+        The service every endpoint executes against (and whose catalogue
+        ``/v2/catalog`` lists).  Boot one from a snapshot via
+        ``FairnessService(catalog=Catalog.load(path))``.
+    host / port:
+        Bind address; ``port=0`` picks a free ephemeral port (see ``.port``).
+    max_workers:
+        Thread-pool width of the ``/v2/batch`` executor (HTTP concurrency
+        itself is one thread per connection, unbounded).
+    verbose:
+        Re-enable the stdlib's per-request stderr log lines.
+    """
+
+    daemon_threads = True
+    allow_reuse_address = True
+    # The default listen backlog (5) drops connections under a concurrent
+    # burst; size it for benchmark/batch-style waves of simultaneous clients.
+    request_queue_size = 128
+
+    def __init__(
+        self,
+        service: FairnessService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_workers: Optional[int] = None,
+        verbose: bool = False,
+    ) -> None:
+        try:
+            super().__init__((host, port), _Handler)
+        except OSError as error:
+            raise ServiceError(f"cannot bind {host}:{port}: {error}") from None
+        self.service = service
+        self.executor = BatchExecutor(service, max_workers=max_workers)
+        self.verbose = verbose
+        self._started = time.monotonic()
+        self._requests_served = 0
+        self._stats_lock = threading.Lock()
+        self._serving = False
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def host(self) -> str:
+        return self.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The actual bound port (resolves ``port=0`` ephemeral binds)."""
+        return self.server_address[1]
+
+    @property
+    def base_url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def _count_request(self) -> None:
+        with self._stats_lock:
+            self._requests_served += 1
+
+    @property
+    def requests_served(self) -> int:
+        with self._stats_lock:
+            return self._requests_served
+
+    def health(self) -> Dict[str, object]:
+        """The ``/v2/health`` payload: liveness plus serving statistics."""
+        return {
+            "status": "ok",
+            "protocol": PROTOCOL_VERSION,
+            "uptime_s": round(time.monotonic() - self._started, 3),
+            "requests_served": self.requests_served,
+            "endpoints": list(REQUEST_ENDPOINTS) + ["batch", "catalog", "health"],
+            "cache": self.service.cache_stats.as_dict(),
+            "store_pool": self.service.store_stats.as_dict(),
+            "catalog": self.service.catalog.describe()["counts"],
+        }
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def serve_forever(self, poll_interval: float = 0.5) -> None:
+        self._serving = True
+        super().serve_forever(poll_interval)
+
+    def serve_in_background(self, name: str = "fairank-http") -> threading.Thread:
+        """Start ``serve_forever`` on a daemon thread (tests and benchmarks)."""
+        # Flagged here too: __exit__ may run before the thread is scheduled,
+        # and BaseServer.shutdown() deadlocks unless serve_forever runs.
+        self._serving = True
+        thread = threading.Thread(target=self.serve_forever, name=name, daemon=True)
+        thread.start()
+        return thread
+
+    def __enter__(self) -> "FairnessHTTPServer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._serving:
+            self.shutdown()
+        self.server_close()
+
+
+def _batch_results_from_json(payload: Dict[str, object]) -> List[ServiceResult]:
+    """Decode a ``/v2/batch`` response body (shared with the HTTP client)."""
+    results = payload.get("results")
+    if not isinstance(results, list):
+        raise ServiceError("batch response carries no 'results' list")
+    return [ServiceResult.from_json(entry) for entry in results]

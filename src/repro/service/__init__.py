@@ -9,7 +9,7 @@ facade, and :mod:`repro.service.executor` for the parallel batch executor.
 """
 
 from repro.service.cache import CacheStats, LRUCache
-from repro.service.client import FairnessClient
+from repro.service.client import FairnessClient, FairnessClientBase
 from repro.service.executor import BatchExecutor, default_max_workers
 from repro.service.fingerprint import (
     combine_fingerprints,
@@ -43,6 +43,7 @@ __all__ = [
     "CompareRequest",
     "EndUserRequest",
     "FairnessClient",
+    "FairnessClientBase",
     "FairnessService",
     "JobOwnerRequest",
     "LRUCache",

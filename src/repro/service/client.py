@@ -11,10 +11,13 @@ and batch traffic — and returns the :class:`~repro.service.jobs.ServiceResult`
 
 By default an error envelope is raised as a
 :class:`~repro.errors.ServiceError` (``raise_errors=False`` hands envelopes
-back untouched, the behaviour a remote client would implement).  The same
-facade is the template for the planned HTTP front end: its methods map 1:1
-onto protocol-v2 request kinds, so swapping the in-process ``execute`` for a
-POST keeps caller code unchanged.
+back untouched, the behaviour a remote client would implement).
+
+The seven-method surface lives on :class:`FairnessClientBase`, which is
+transport-agnostic: subclasses only implement ``_run`` (how a built request
+reaches a service).  :class:`FairnessClient` executes in-process;
+:class:`repro.server.client.HTTPFairnessClient` POSTs the same requests to a
+``fairank serve`` process — caller code is identical against either.
 """
 
 from __future__ import annotations
@@ -35,31 +38,25 @@ from repro.service.jobs import (
 )
 from repro.service.service import FairnessService
 
-__all__ = ["FairnessClient"]
+__all__ = ["FairnessClient", "FairnessClientBase"]
 
 
-class FairnessClient:
-    """Typed, per-kind entry points over a :class:`FairnessService`.
+class FairnessClientBase:
+    """The shared per-kind client surface over wire protocol v2.
 
-    Parameters
-    ----------
-    service:
-        The service every call executes against.
-    raise_errors:
-        When True (default) an error envelope raises
-        :class:`~repro.errors.ServiceError`; when False the envelope is
-        returned as-is and the caller inspects ``result.ok`` / ``result.error``.
+    Subclasses implement :meth:`_run`, which carries a built request to a
+    :class:`FairnessService` (in-process, over HTTP, ...) and returns its
+    :class:`~repro.service.jobs.ServiceResult`.  Request *construction* —
+    and therefore request validation — always happens client-side, so every
+    transport raises the same errors for malformed parameters.
     """
 
-    def __init__(self, service: FairnessService, *, raise_errors: bool = True) -> None:
-        self.service = service
-        self.raise_errors = raise_errors
+    #: When True (subclasses set it in their constructor) an error envelope
+    #: raises :class:`~repro.errors.ServiceError` instead of being returned.
+    raise_errors: bool = True
 
     def _run(self, request: ServiceRequest) -> ServiceResult:
-        result = self.service.execute(request)
-        if self.raise_errors:
-            result.raise_for_error()
-        return result
+        raise NotImplementedError("client subclasses implement _run")
 
     # -- one method per protocol-v2 request kind -------------------------------
 
@@ -256,3 +253,27 @@ class FairnessClient:
                 min_partition_size=min_partition_size,
             )
         )
+
+
+class FairnessClient(FairnessClientBase):
+    """Typed, per-kind entry points over an in-process :class:`FairnessService`.
+
+    Parameters
+    ----------
+    service:
+        The service every call executes against.
+    raise_errors:
+        When True (default) an error envelope raises
+        :class:`~repro.errors.ServiceError`; when False the envelope is
+        returned as-is and the caller inspects ``result.ok`` / ``result.error``.
+    """
+
+    def __init__(self, service: FairnessService, *, raise_errors: bool = True) -> None:
+        self.service = service
+        self.raise_errors = raise_errors
+
+    def _run(self, request: ServiceRequest) -> ServiceResult:
+        result = self.service.execute(request)
+        if self.raise_errors:
+            result.raise_for_error()
+        return result

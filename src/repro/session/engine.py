@@ -132,6 +132,21 @@ class FaiRankEngine:
             raise SessionError(str(error)) from None
         return dataset_name, [job.function.name for job in marketplace]
 
+    def save_catalog(self, path: str) -> None:
+        """Export this session's whole registry to a catalog snapshot file.
+
+        The snapshot (see :mod:`repro.snapshot`) captures every dataset,
+        scoring function, marketplace and formulation registered through
+        this engine *or* through its backing service, so the deployment can
+        be rebooted elsewhere — ``fairank serve --catalog PATH`` serves the
+        exact same resources (identical content fingerprints, hence
+        identical cache keys).
+        """
+        try:
+            self.catalog.save(path)
+        except FaiRankError as error:
+            raise SessionError(str(error)) from None
+
     @property
     def dataset_names(self) -> Tuple[str, ...]:
         return self._service.dataset_names

@@ -1,5 +1,7 @@
 """Tests for the fairank command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -95,6 +97,60 @@ class TestAuditCommand:
         output = capsys.readouterr().out
         assert "Fairness report" in output
         assert "most unfair job" in output
+
+
+class TestServeBatchPartialFailure:
+    """Regression: a mixed batch exits 1 *and* reports every error in-slot."""
+
+    def test_mixed_batch_exits_1_with_every_error_envelope(self, tmp_path, capsys):
+        path = tmp_path / "mixed.json"
+        path.write_text(json.dumps([
+            {"kind": "quantify", "dataset": "table1", "function": "table1-f"},
+            {"kind": "quantify", "dataset": "missing-data", "function": "table1-f"},
+            {"kind": "compare", "dataset": "table1",
+             "functions": ["table1-f", "balanced"]},
+            {"kind": "audit", "marketplace": "missing-market"},
+        ]))
+        # Partial failure must be visible to scripts without parsing stdout.
+        assert main(["serve-batch", str(path), "--market-size", "60"]) == 1
+        output = capsys.readouterr().out
+        # Every request still produced a row, in input order ...
+        rows = [line for line in output.splitlines()
+                if line.strip() and line.lstrip()[0].isdigit()]
+        assert len(rows) == 4
+        assert [row.split()[1] for row in rows] == [
+            "quantify", "quantify", "compare", "audit",
+        ]
+        # ... the valid slots served, the invalid slots carry envelopes.
+        assert "error" in rows[1] and "error" in rows[3]
+        assert "! #2" in output and "unknown dataset 'missing-data'" in output
+        assert "! #4" in output and "unknown marketplace 'missing-market'" in output
+        assert "2 request(s) returned an error envelope" in output
+
+    def test_mixed_batch_fails_in_serial_mode_too(self, tmp_path, capsys):
+        path = tmp_path / "mixed.json"
+        path.write_text(json.dumps([
+            {"kind": "quantify", "dataset": "table1", "function": "table1-f"},
+            {"kind": "quantify", "dataset": "missing-data", "function": "table1-f"},
+        ]))
+        assert main(["serve-batch", str(path), "--market-size", "60",
+                     "--serial"]) == 1
+        output = capsys.readouterr().out
+        assert "! #2" in output and "unknown dataset 'missing-data'" in output
+
+    def test_repeat_rounds_report_stable_per_request_errors(self, tmp_path, capsys):
+        path = tmp_path / "mixed.json"
+        path.write_text(json.dumps([
+            {"kind": "quantify", "dataset": "table1", "function": "table1-f"},
+            {"kind": "quantify", "dataset": "missing-data", "function": "table1-f"},
+        ]))
+        assert main(["serve-batch", str(path), "--market-size", "60",
+                     "--repeat", "2"]) == 1
+        output = capsys.readouterr().out
+        # Errors are never cached: both rounds fail the same single request,
+        # and the summary counts per-request, not per-round.
+        assert output.count("! #2") == 2
+        assert "1 request(s) returned an error envelope" in output
 
 
 class TestExperimentsCommand:
