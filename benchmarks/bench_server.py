@@ -10,12 +10,20 @@ protocol-v2 kind** at it through :class:`~repro.server.client.HTTPFairnessClient
 * per-request wall-clock latency percentiles (p50 / p90 / p99 / max) are
   written to ``BENCH_server.json`` (uploaded by CI's bench job) so the
   serving layer's trajectory is tracked per commit.
+
+A second leg benchmarks the *sharded* stack (``repro.shard``): the same 64
+concurrent mixed-kind requests against a 3-worker fingerprint-routed fleet
+versus a 1-worker baseline behind the identical router, recording cold and
+warm latency percentiles to ``BENCH_shard.json`` and requiring the two
+deployments' responses to be byte-identical.
 """
 
 from __future__ import annotations
 
+import tempfile
 import time
 from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
 from typing import Dict, List
 
 from repro.errors import ServiceError
@@ -37,6 +45,7 @@ from repro.service import (
 from benchmarks.results import REPO_ROOT, write_results
 
 _RESULTS_PATH = REPO_ROOT / "BENCH_server.json"
+_SHARD_RESULTS_PATH = REPO_ROOT / "BENCH_shard.json"
 
 #: The acceptance floor: at least this many concurrent in-flight requests.
 CONCURRENT_REQUESTS = 64
@@ -160,4 +169,126 @@ def test_concurrent_mixed_kind_http_load():
         f"\n{len(requests)} concurrent mixed-kind HTTP requests in "
         f"{wall_clock * 1000:.0f} ms ({block['throughput_rps']} rps); "
         f"p50 {block['latency_ms']['p50']} ms, p99 {block['latency_ms']['p99']} ms"
+    )
+
+
+def _latency_block(latencies: List[float]) -> Dict[str, float]:
+    ordered = sorted(latencies)
+    return {
+        "p50": round(_percentile(ordered, 0.50) * 1000, 2),
+        "p90": round(_percentile(ordered, 0.90) * 1000, 2),
+        "p99": round(_percentile(ordered, 0.99) * 1000, 2),
+        "max": round(ordered[-1] * 1000, 2),
+    }
+
+
+def _drive_fleet(snapshot: Path, workers: int, requests) -> Dict[str, object]:
+    """Boot a WorkerPool+ShardRouter and fire the concurrent mixed wave.
+
+    Returns cold/warm latency percentiles plus every response's canonical
+    form (for the cross-deployment byte-identity check).
+    """
+    from repro.shard import ShardRouter, WorkerPool
+    from repro.snapshot import snapshot_fingerprints
+
+    pool = WorkerPool(snapshot, workers)
+    pool.start()
+    router = ShardRouter(pool, fingerprints=snapshot_fingerprints(snapshot))
+    router.serve_in_background()
+    try:
+        client = HTTPFairnessClient(router.base_url, timeout=300.0)
+
+        def fire(index: int):
+            started = time.perf_counter()
+            for attempt in range(3):
+                try:
+                    result = client._run(requests[index])
+                    break
+                except (ConnectionResetError, ServiceError) as error:
+                    # Same connect-burst noise the single-process bench
+                    # retries: a 64-way simultaneous connect can reset on
+                    # the client->router hop; retry counts against latency.
+                    connect_noise = isinstance(error, ConnectionResetError) or (
+                        "cannot reach" in str(error)
+                    )
+                    if attempt == 2 or not connect_noise:
+                        raise
+            return index, result, time.perf_counter() - started
+
+        waves: Dict[str, Dict[str, float]] = {}
+        canonicals: List[str] = []
+        for wave in ("cold", "warm"):
+            started = time.perf_counter()
+            with ThreadPoolExecutor(max_workers=len(requests)) as burst:
+                outcomes = list(burst.map(fire, range(len(requests))))
+            wall_clock = time.perf_counter() - started
+            assert all(result.ok for _, result, _ in outcomes)
+            waves[wave] = {
+                "wall_clock_s": round(wall_clock, 4),
+                "throughput_rps": round(len(requests) / wall_clock, 1),
+                "latency_ms": _latency_block(
+                    [elapsed for _, _, elapsed in outcomes]
+                ),
+            }
+            canonicals = [
+                result.canonical()
+                for _, result, _ in sorted(outcomes, key=lambda item: item[0])
+            ]
+        health = client.health()
+        assert health["status"] == "ok"
+        return {
+            "workers": workers,
+            "alive_workers": health["workers"]["alive"],
+            **waves,
+            "_canonicals": canonicals,
+        }
+    finally:
+        router.shutdown()
+        router.server_close()
+        pool.stop()
+
+
+def test_sharded_fleet_vs_single_worker():
+    """64 concurrent mixed-kind requests: 3 fingerprint-routed workers vs 1.
+
+    Both fleets boot from one catalog snapshot, so the sharded deployment
+    must answer byte-identically to the single-worker baseline; the recorded
+    percentiles track what sharding buys (parallel cold computation across
+    processes, per-worker cache affinity) and what it costs (a proxy hop on
+    the warm path).
+    """
+    service = build_service()
+    requests = mixed_requests(CONCURRENT_REQUESTS)
+    assert len({request.kind for request in requests}) == 7
+
+    with tempfile.TemporaryDirectory() as workdir:
+        snapshot = Path(workdir) / "deployment.json"
+        service.catalog.save(snapshot)
+        single = _drive_fleet(snapshot, workers=1, requests=requests)
+        sharded = _drive_fleet(snapshot, workers=3, requests=requests)
+
+    mismatched = [
+        requests[index].kind
+        for index, (left, right) in enumerate(
+            zip(single.pop("_canonicals"), sharded.pop("_canonicals"))
+        )
+        if left != right
+    ]
+    assert not mismatched, f"sharded responses diverged from 1-worker: {mismatched}"
+    assert sharded["alive_workers"] == 3
+
+    block = {
+        "requests": len(requests),
+        "concurrency": CONCURRENT_REQUESTS,
+        "byte_identical_across_fleets": True,
+        "single_worker": single,
+        "sharded": sharded,
+    }
+    write_results(_SHARD_RESULTS_PATH, {"shard_router_concurrent_mixed_load": block})
+    print(
+        f"\nsharded {sharded['workers']}-worker fleet: cold p50 "
+        f"{sharded['cold']['latency_ms']['p50']} ms / warm p50 "
+        f"{sharded['warm']['latency_ms']['p50']} ms vs single-worker cold p50 "
+        f"{single['cold']['latency_ms']['p50']} ms / warm p50 "
+        f"{single['warm']['latency_ms']['p50']} ms"
     )

@@ -10,17 +10,23 @@ Exercises the full deployment workflow exactly as an operator would:
 4. assert every HTTP response is byte-identical (``ServiceResult.canonical``)
    to the in-process :class:`~repro.service.client.FairnessClient` answer
    over a service booted from the *same* snapshot;
-5. terminate the server and fail on a non-zero exit.
+5. terminate the server (SIGTERM) and fail unless it drains and exits 0.
+
+With ``--workers N`` (N > 1) the same gate runs against the *sharded*
+deployment: ``fairank serve --workers N`` boots a fingerprint-routing
+``ShardRouter`` over N snapshot-booted worker processes, and every response
+must still be byte-identical to in-process serving.
 
 Exit code 0 only when every step passed.  The CI job wraps this script in
 ``timeout``, so a server that never binds (hung port) or never answers also
 fails the gate.  Run locally with::
 
-    PYTHONPATH=src python scripts/ci_serve_e2e.py
+    PYTHONPATH=src python scripts/ci_serve_e2e.py [--workers 3]
 """
 
 from __future__ import annotations
 
+import argparse
 import os
 import queue
 import re
@@ -70,11 +76,12 @@ def build_snapshot(path: Path) -> None:
     print(f"[e2e] snapshot built: {path} ({path.stat().st_size} bytes)")
 
 
-def boot_server(snapshot: Path) -> "tuple[subprocess.Popen, int]":
+def boot_server(snapshot: Path, workers: int) -> "tuple[subprocess.Popen, int]":
     process = subprocess.Popen(
         [
             sys.executable, "-m", "repro.cli", "serve",
             "--catalog", str(snapshot), "--port", "0",
+            "--workers", str(workers),
         ],
         stdout=subprocess.PIPE,
         stderr=subprocess.STDOUT,
@@ -136,6 +143,13 @@ def scenario_calls(client):
 
 
 def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes behind the shard router (1 = single-process)",
+    )
+    arguments = parser.parse_args()
+
     with tempfile.TemporaryDirectory() as workdir:
         snapshot = Path(workdir) / "deployment.json"
         build_snapshot(snapshot)
@@ -144,13 +158,19 @@ def main() -> int:
         # divergence is the HTTP layer's fault, not the registry's.
         reference = FairnessClient(FairnessService(catalog=Catalog.load(snapshot)))
 
-        process, port = boot_server(snapshot)
+        process, port = boot_server(snapshot, arguments.workers)
         failures = 0
         try:
             remote = HTTPFairnessClient(f"http://127.0.0.1:{port}", timeout=60.0)
             health = remote.health()
             assert health["status"] == "ok", health
-            print(f"[e2e] health ok, catalog: {health['catalog']}")
+            if arguments.workers > 1:
+                fleet = health["workers"]
+                assert fleet["alive"] == arguments.workers, fleet
+                print(f"[e2e] router health ok, {fleet['alive']} worker(s) alive, "
+                      f"catalog: {health['catalog']}")
+            else:
+                print(f"[e2e] health ok, catalog: {health['catalog']}")
 
             for (kind, via_http), (_, in_process) in zip(
                 scenario_calls(remote), scenario_calls(reference)
@@ -182,7 +202,11 @@ def main() -> int:
         finally:
             process.terminate()
             try:
-                process.wait(timeout=15)
+                exit_code = process.wait(timeout=30)
+                if exit_code != 0:
+                    failures += 1
+                    print(f"[e2e] FAIL: server exited {exit_code} after SIGTERM "
+                          "(graceful shutdown should exit 0)")
             except subprocess.TimeoutExpired:
                 process.kill()
                 failures += 1
@@ -191,7 +215,12 @@ def main() -> int:
         if failures:
             print(f"[e2e] FAILED with {failures} mismatch(es)")
             return 1
-        print("[e2e] PASS: HTTP front end is byte-identical to in-process serving")
+        surface = (
+            f"shard router over {arguments.workers} workers"
+            if arguments.workers > 1
+            else "HTTP front end"
+        )
+        print(f"[e2e] PASS: {surface} is byte-identical to in-process serving")
         return 0
 
 

@@ -16,7 +16,11 @@ Six subcommands cover the common entry points without writing any Python:
   optionally check which resources a batch file references, and optionally
   write the registry to a catalog snapshot file (``--save``);
 * ``fairank serve`` — boot the HTTP front end (wire protocol v2 over REST)
-  on the built-in registry or on a catalog snapshot (``--catalog``).
+  on the built-in registry or on a catalog snapshot (``--catalog``); with
+  ``--workers N`` (N > 1) a fingerprint-routing shard router is booted over
+  N snapshot-identical worker processes (``repro.shard``), and SIGINT /
+  SIGTERM always shut the listener down cleanly, draining in-flight
+  requests first.
 
 The CLI is a thin veneer over the public API; everything it does can be done
 programmatically (see README.md).
@@ -153,8 +157,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--catalog", default=None, metavar="PATH", dest="catalog_path",
         help="boot the deployment registry from a catalog snapshot file "
              "(default: the same built-in registry as serve-batch)")
-    http_parser.add_argument("--workers", type=int, default=None,
-                             help="thread-pool width of /v2/batch (default: auto)")
+    http_parser.add_argument(
+        "--workers", type=int, default=1,
+        help="number of worker processes; >1 boots a fingerprint-routing "
+             "shard router over N snapshot-booted workers (default: 1, "
+             "single-process serving)")
+    http_parser.add_argument("--batch-workers", type=int, default=None,
+                             help="per-worker thread-pool width of /v2/batch "
+                                  "(default: auto)")
     http_parser.add_argument("--verbose", action="store_true",
                              help="log every request line to stderr")
     _add_registry_arguments(http_parser)
@@ -420,7 +430,54 @@ def _serve_service(args: argparse.Namespace):
     return _serve_batch_service(args)
 
 
+def _install_shutdown_handlers(server) -> "threading.Event":
+    """Make SIGINT/SIGTERM stop ``serve_forever`` instead of killing the process.
+
+    The handler only *requests* the stop (``shutdown()`` must run off the
+    serving thread, and must not run before ``serve_forever`` does); the
+    caller then closes the listening socket with ``server_close()``, which
+    drains in-flight requests before returning.  Outside the main thread
+    (in-process tests) signal installation is skipped silently.
+    """
+    import signal
+    import threading
+
+    stop_requested = threading.Event()
+
+    def _handle(signum, frame) -> None:
+        if stop_requested.is_set():
+            return
+        stop_requested.set()
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            signal.signal(signum, _handle)
+        except ValueError:  # pragma: no cover - only hit off the main thread
+            pass
+    return stop_requested
+
+
+def _announce_serving(args: argparse.Namespace, counts, base_url: str,
+                      workers: int = 1) -> None:
+    rendered = ", ".join(f"{count} {kind}(s)" for kind, count in counts.items())
+    source = args.catalog_path or "built-in registry"
+    print(f"catalog ({source}): {rendered}")
+    if workers > 1:
+        print(f"shard router: {workers} worker process(es), "
+              "fingerprint-routed")
+    # The port line is machine-readable on purpose: with --port 0 it is the
+    # only way a supervising script learns the bound port.
+    print(f"serving fairness protocol v2 on {base_url} (Ctrl-C to stop)",
+          flush=True)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.workers < 1:
+        raise FaiRankError(f"--workers must be >= 1, got {args.workers}")
+    if args.workers > 1:
+        return _cmd_serve_sharded(args)
+
     from repro.server import FairnessHTTPServer
 
     service = _serve_service(args)
@@ -428,43 +485,102 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         service,
         host=args.host,
         port=args.port,
-        max_workers=args.workers,
+        max_workers=args.batch_workers,
         verbose=args.verbose,
     )
-    counts = service.catalog.describe()["counts"]
-    rendered = ", ".join(f"{count} {kind}(s)" for kind, count in counts.items())
-    source = args.catalog_path or "built-in registry"
-    print(f"catalog ({source}): {rendered}")
-    # The port line is machine-readable on purpose: with --port 0 it is the
-    # only way a supervising script learns the bound port.
-    print(f"serving fairness protocol v2 on {server.base_url} (Ctrl-C to stop)",
-          flush=True)
+    # Handlers first, announcement second: a supervisor may signal the
+    # instant it has parsed the port line off stdout.
+    stop_requested = _install_shutdown_handlers(server)
+    _announce_serving(args, service.catalog.describe()["counts"], server.base_url)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
-        print("shutting down")
+        stop_requested.set()
     finally:
+        # server_close() drains: it joins in-flight handler threads, so a
+        # SIGTERM'd server finishes the responses it already accepted.
         server.server_close()
+    print("shutting down")
+    return 0
+
+
+def _cmd_serve_sharded(args: argparse.Namespace) -> int:
+    """``fairank serve --workers N``: a fingerprint-routed worker fleet."""
+    import tempfile
+    from pathlib import Path
+
+    from repro.shard import ShardRouter, WorkerPool
+    from repro.snapshot import snapshot_fingerprints
+
+    temporary_snapshot = None
+    if args.catalog_path:
+        snapshot_path = Path(args.catalog_path)
+    else:
+        # The built-in registry must be identical in every worker, so it is
+        # materialised once as a snapshot the workers boot from.
+        service = _serve_batch_service(args)
+        handle = tempfile.NamedTemporaryFile(
+            prefix="fairank-catalog-", suffix=".json", delete=False
+        )
+        handle.close()
+        temporary_snapshot = Path(handle.name)
+        service.catalog.save(temporary_snapshot)
+        snapshot_path = temporary_snapshot
+
+    try:
+        # Validates the snapshot up front (missing file, truncated JSON, bad
+        # version) and gives the router its shared-nothing routing index.
+        fingerprints = snapshot_fingerprints(snapshot_path)
+        counts: dict = {}
+        for kind, _name in fingerprints:
+            counts[kind] = counts.get(kind, 0) + 1
+
+        # Per-worker flags ride along on every worker's command line.
+        worker_arguments: list = []
+        if args.batch_workers is not None:
+            worker_arguments += ["--batch-workers", str(args.batch_workers)]
+        if args.verbose:
+            worker_arguments += ["--verbose"]
+        pool = WorkerPool(
+            snapshot_path, args.workers, host=args.host,
+            worker_arguments=worker_arguments,
+        )
+        pool.start()
+        try:
+            router = ShardRouter(
+                pool,
+                host=args.host,
+                port=args.port,
+                fingerprints=fingerprints,
+                verbose=args.verbose,
+            )
+            stop_requested = _install_shutdown_handlers(router)
+            _announce_serving(args, counts, router.base_url, workers=args.workers)
+            try:
+                router.serve_forever()
+            except KeyboardInterrupt:
+                stop_requested.set()
+            finally:
+                router.server_close()
+            print("shutting down")
+        finally:
+            pool.stop()
+    finally:
+        if temporary_snapshot is not None:
+            temporary_snapshot.unlink(missing_ok=True)
     return 0
 
 
 def _request_references(request):
-    """(kind, name) pairs of the catalogue resources a request references."""
-    references = []
-    dataset = getattr(request, "dataset", None)
-    if dataset:
-        references.append(("dataset", dataset))
-    function = getattr(request, "function", None)
-    if isinstance(function, str) and function:
-        references.append(("function", function))
-    for name in getattr(request, "functions", ()) or ():
-        references.append(("function", name))
-    marketplace = getattr(request, "marketplace", None)
-    if marketplace:
-        references.append(("marketplace", marketplace))
-    for name in getattr(request, "marketplaces", ()) or ():
-        references.append(("marketplace", name))
-    return references
+    """(kind, name) pairs of the catalogue resources a request references.
+
+    Delegates to the shard router's extractor so the CLI's resolution check
+    and fingerprint routing can never disagree about which fields of a
+    request name catalogue resources.
+    """
+    from repro.shard.routing import request_references
+
+    return request_references(request.to_json())
 
 
 _COMMANDS = {

@@ -13,6 +13,19 @@ Beyond the per-kind methods it exposes the server's remaining endpoints:
 :meth:`HTTPFairnessClient.batch` (one round-trip for many requests through
 the server's :class:`~repro.service.executor.BatchExecutor`),
 :meth:`HTTPFairnessClient.catalog` and :meth:`HTTPFairnessClient.health`.
+
+The client is **shard-router aware by construction**: a
+:class:`~repro.shard.router.ShardRouter` (``fairank serve --workers N``)
+speaks exactly the same endpoints with the same status mapping, so pointing
+``base_url`` at a router instead of a single server changes nothing in
+calling code — requests are transparently fingerprint-routed to the worker
+whose caches are hot, batches are split and reassembled server-side, and a
+worker crash is retried on a healthy sibling before the client ever sees an
+error.  The only visible difference is :meth:`health`, which returns the
+router's *aggregated* payload: ``status`` reflects the whole fleet
+(``ok`` / ``degraded`` / ``down``), and ``workers`` carries per-worker
+liveness, restart counts and cache statistics alongside the single-process
+fields.
 """
 
 from __future__ import annotations

@@ -52,7 +52,7 @@ from repro.service.executor import BatchExecutor
 from repro.service.jobs import PROTOCOL_VERSION, ServiceResult, request_from_json
 from repro.service.service import FairnessService, _error_code
 
-__all__ = ["FairnessHTTPServer", "REQUEST_ENDPOINTS"]
+__all__ = ["FairnessHTTPServer", "REQUEST_ENDPOINTS", "V2ServerBase"]
 
 #: The request kinds served as ``POST /v2/<kind>`` (one endpoint per kind).
 REQUEST_ENDPOINTS: Tuple[str, ...] = (
@@ -75,23 +75,37 @@ def _transport_error(code: str, message: str) -> Dict[str, object]:
     return {"error": {"code": code, "message": message}}
 
 
-class _Handler(BaseHTTPRequestHandler):
-    """Routes v2 endpoints onto the server's shared FairnessService."""
+class _JSONRequestHandler(BaseHTTPRequestHandler):
+    """Shared plumbing for JSON-speaking v2 handlers.
 
-    server: "FairnessHTTPServer"
+    Both the single-process server below and the shard router
+    (:mod:`repro.shard.router`) subclass this: keep-alive-safe body
+    draining, JSON responses, per-server request counting and quiet
+    logging live here so the two serving surfaces cannot drift apart.
+    """
+
     protocol_version = "HTTP/1.1"
+    # Bound idle keep-alive connections: without a socket timeout a client
+    # that holds its connection open would block the drain on shutdown
+    # (server_close joins in-flight handler threads) indefinitely.
+    timeout = 30.0
 
     # -- plumbing --------------------------------------------------------------
 
     def log_message(self, format: str, *args: object) -> None:
         """Silence the default per-request stderr logging (opt back in via verbose)."""
-        if self.server.verbose:
+        if getattr(self.server, "verbose", False):
             super().log_message(format, *args)
 
     def _send_json(self, status: int, payload: Dict[str, object]) -> None:
-        body = json.dumps(payload).encode("utf-8")
+        self._send_raw(
+            status, json.dumps(payload).encode("utf-8"),
+            "application/json; charset=utf-8",
+        )
+
+    def _send_raw(self, status: int, body: bytes, content_type: str) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json; charset=utf-8")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -128,6 +142,12 @@ class _Handler(BaseHTTPRequestHandler):
             return json.loads(raw)
         except json.JSONDecodeError as error:
             raise ServiceError(f"request body is not valid JSON: {error}") from None
+
+
+class _Handler(_JSONRequestHandler):
+    """Routes v2 endpoints onto the server's shared FairnessService."""
+
+    server: "FairnessHTTPServer"
 
     # -- GET endpoints ---------------------------------------------------------
 
@@ -243,46 +263,36 @@ class _Handler(BaseHTTPRequestHandler):
         )
 
 
-class FairnessHTTPServer(ThreadingHTTPServer):
-    """A threaded HTTP server over one shared :class:`FairnessService`.
+class V2ServerBase(ThreadingHTTPServer):
+    """Shared lifecycle + serving statistics for the v2 serving surfaces.
 
-    Parameters
-    ----------
-    service:
-        The service every endpoint executes against (and whose catalogue
-        ``/v2/catalog`` lists).  Boot one from a snapshot via
-        ``FairnessService(catalog=Catalog.load(path))``.
-    host / port:
-        Bind address; ``port=0`` picks a free ephemeral port (see ``.port``).
-    max_workers:
-        Thread-pool width of the ``/v2/batch`` executor (HTTP concurrency
-        itself is one thread per connection, unbounded).
-    verbose:
-        Re-enable the stdlib's per-request stderr log lines.
+    Both :class:`FairnessHTTPServer` and the shard router
+    (:class:`repro.shard.router.ShardRouter`) are this server: bind with a
+    :class:`~repro.errors.ServiceError` on failure, count served requests,
+    and expose the same drain-on-close, background-serving and context-
+    manager semantics — one place to fix means both surfaces get the fix.
     """
 
-    daemon_threads = True
+    # Non-daemon handler threads + block_on_close means ``server_close()``
+    # *drains*: it joins every in-flight handler before returning, so a
+    # SIGTERM'd ``fairank serve`` (or a restarting shard worker) never cuts a
+    # response short.  The handler's socket timeout bounds how long an idle
+    # keep-alive connection can hold the drain up.
+    daemon_threads = False
+    block_on_close = True
     allow_reuse_address = True
     # The default listen backlog (5) drops connections under a concurrent
     # burst; size it for benchmark/batch-style waves of simultaneous clients.
     request_queue_size = 128
 
-    def __init__(
-        self,
-        service: FairnessService,
-        host: str = "127.0.0.1",
-        port: int = 0,
-        *,
-        max_workers: Optional[int] = None,
-        verbose: bool = False,
-    ) -> None:
+    #: Name of the background serving thread (subclasses override).
+    thread_name = "fairank-v2"
+
+    def __init__(self, host: str, port: int, handler_class) -> None:
         try:
-            super().__init__((host, port), _Handler)
+            super().__init__((host, port), handler_class)
         except OSError as error:
             raise ServiceError(f"cannot bind {host}:{port}: {error}") from None
-        self.service = service
-        self.executor = BatchExecutor(service, max_workers=max_workers)
-        self.verbose = verbose
         self._started = time.monotonic()
         self._requests_served = 0
         self._stats_lock = threading.Lock()
@@ -303,6 +313,10 @@ class FairnessHTTPServer(ThreadingHTTPServer):
     def base_url(self) -> str:
         return f"http://{self.host}:{self.port}"
 
+    @property
+    def uptime_s(self) -> float:
+        return round(time.monotonic() - self._started, 3)
+
     def _count_request(self) -> None:
         with self._stats_lock:
             self._requests_served += 1
@@ -312,41 +326,78 @@ class FairnessHTTPServer(ThreadingHTTPServer):
         with self._stats_lock:
             return self._requests_served
 
-    def health(self) -> Dict[str, object]:
-        """The ``/v2/health`` payload: liveness plus serving statistics."""
-        return {
-            "status": "ok",
-            "protocol": PROTOCOL_VERSION,
-            "uptime_s": round(time.monotonic() - self._started, 3),
-            "requests_served": self.requests_served,
-            "endpoints": list(REQUEST_ENDPOINTS) + ["batch", "catalog", "health"],
-            "cache": self.service.cache_stats.as_dict(),
-            "store_pool": self.service.store_stats.as_dict(),
-            "catalog": self.service.catalog.describe()["counts"],
-        }
-
     # -- lifecycle -------------------------------------------------------------
 
     def serve_forever(self, poll_interval: float = 0.5) -> None:
         self._serving = True
         super().serve_forever(poll_interval)
 
-    def serve_in_background(self, name: str = "fairank-http") -> threading.Thread:
+    def serve_in_background(self, name: Optional[str] = None) -> threading.Thread:
         """Start ``serve_forever`` on a daemon thread (tests and benchmarks)."""
         # Flagged here too: __exit__ may run before the thread is scheduled,
         # and BaseServer.shutdown() deadlocks unless serve_forever runs.
         self._serving = True
-        thread = threading.Thread(target=self.serve_forever, name=name, daemon=True)
+        thread = threading.Thread(
+            target=self.serve_forever, name=name or self.thread_name, daemon=True
+        )
         thread.start()
         return thread
 
-    def __enter__(self) -> "FairnessHTTPServer":
+    def __enter__(self):
         return self
 
     def __exit__(self, *exc_info: object) -> None:
         if self._serving:
             self.shutdown()
         self.server_close()
+
+
+class FairnessHTTPServer(V2ServerBase):
+    """A threaded HTTP server over one shared :class:`FairnessService`.
+
+    Parameters
+    ----------
+    service:
+        The service every endpoint executes against (and whose catalogue
+        ``/v2/catalog`` lists).  Boot one from a snapshot via
+        ``FairnessService(catalog=Catalog.load(path))``.
+    host / port:
+        Bind address; ``port=0`` picks a free ephemeral port (see ``.port``).
+    max_workers:
+        Thread-pool width of the ``/v2/batch`` executor (HTTP concurrency
+        itself is one thread per connection, unbounded).
+    verbose:
+        Re-enable the stdlib's per-request stderr log lines.
+    """
+
+    thread_name = "fairank-http"
+
+    def __init__(
+        self,
+        service: FairnessService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_workers: Optional[int] = None,
+        verbose: bool = False,
+    ) -> None:
+        super().__init__(host, port, _Handler)
+        self.service = service
+        self.executor = BatchExecutor(service, max_workers=max_workers)
+        self.verbose = verbose
+
+    def health(self) -> Dict[str, object]:
+        """The ``/v2/health`` payload: liveness plus serving statistics."""
+        return {
+            "status": "ok",
+            "protocol": PROTOCOL_VERSION,
+            "uptime_s": self.uptime_s,
+            "requests_served": self.requests_served,
+            "endpoints": list(REQUEST_ENDPOINTS) + ["batch", "catalog", "health"],
+            "cache": self.service.cache_stats.as_dict(),
+            "store_pool": self.service.store_stats.as_dict(),
+            "catalog": self.service.catalog.describe()["counts"],
+        }
 
 
 def _batch_results_from_json(payload: Dict[str, object]) -> List[ServiceResult]:

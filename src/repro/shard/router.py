@@ -1,0 +1,394 @@
+"""The shard router: one HTTP front door over N snapshot-booted workers.
+
+:class:`ShardRouter` speaks exactly the surface of a single-process
+:class:`~repro.server.http.FairnessHTTPServer` — same endpoints, same status
+mapping, same envelopes — so :class:`~repro.server.client.HTTPFairnessClient`
+code runs unchanged against either.  It is *shared-nothing*: the router
+holds no dataset, no score store and no result cache, only the snapshot's
+``(kind, name) -> fingerprint`` index and the worker pool.  Per endpoint:
+
+* ``POST /v2/<kind>`` — compute the routing slot from the body's resource
+  references (:mod:`repro.shard.routing`), forward the body verbatim to the
+  slot's worker and relay its response bytes untouched.  A worker that dies
+  mid-request is reported to the pool (which restarts it with backoff) and
+  the request retries on the next live worker — pure queries are idempotent,
+  so a mid-load crash loses no request;
+* ``POST /v2/batch`` — split the batch by routing slot, fan the sub-batches
+  out concurrently, and reassemble every worker's in-slot envelopes back
+  into input order;
+* ``GET /v2/health`` — aggregate per-worker liveness, cache and store-pool
+  statistics around the router's own serving counters;
+* ``GET /v2/catalog`` — proxy any live worker (all serve the same snapshot).
+
+Only when *no* worker can be reached within the retry budget does the
+router answer itself: ``503`` with an ``unavailable`` transport payload (or
+per-slot ``unavailable`` envelopes inside a batch).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Tuple
+from urllib.parse import urlsplit
+
+from repro.errors import ServiceError
+from repro.server.http import (
+    REQUEST_ENDPOINTS,
+    V2ServerBase,
+    _JSONRequestHandler,
+    _transport_error,
+)
+from repro.service.jobs import PROTOCOL_VERSION
+from repro.shard.pool import WorkerHandle, WorkerPool
+from repro.shard.routing import (
+    FingerprintIndex,
+    request_references,
+    routing_key,
+    worker_slot,
+)
+
+__all__ = ["ShardRouter"]
+
+#: Transport-level failures that mean "this worker did not answer" (and the
+#: request should be retried on another worker).  ``HTTPError`` is *not* one
+#: of them: a 4xx/5xx from a worker is a served response and is relayed.
+_TRANSPORT_FAILURES = (urllib.error.URLError, http.client.HTTPException, OSError)
+
+
+class _RouterHandler(_JSONRequestHandler):
+    """Routes v2 traffic onto the pool's workers."""
+
+    server: "ShardRouter"
+
+    # -- GET endpoints ---------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib handler naming
+        try:
+            self._drain_body()
+        except ServiceError as error:
+            self._send_json(400, _transport_error("service", str(error)))
+            return
+        path = urlsplit(self.path).path.rstrip("/")
+        if path == "/v2/health":
+            self._send_json(200, self.server.health())
+            return
+        if path == "/v2/catalog":
+            self._forward_and_relay(path, None, "GET", 0)
+            return
+        if path == "/v2/batch" or path.removeprefix("/v2/") in REQUEST_ENDPOINTS:
+            self._send_json(
+                405, _transport_error("method", f"{path} only accepts POST")
+            )
+            return
+        self._send_json(
+            404, _transport_error("not_found", f"unknown endpoint {path!r}")
+        )
+
+    # -- POST endpoints --------------------------------------------------------
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib handler naming
+        path = urlsplit(self.path).path.rstrip("/")
+        try:
+            raw = self._drain_body()
+        except ServiceError as error:
+            self._send_json(400, _transport_error("service", str(error)))
+            return
+        if path in ("/v2/health", "/v2/catalog"):
+            self._send_json(
+                405, _transport_error("method", f"{path} only accepts GET")
+            )
+            return
+        if path == "/v2/batch":
+            self._route_batch(raw)
+            return
+        if path.removeprefix("/v2/") in REQUEST_ENDPOINTS and path.startswith("/v2/"):
+            self._route_request(path, raw)
+            return
+        self._send_json(
+            404, _transport_error("not_found", f"unknown endpoint {path!r}")
+        )
+
+    # -- routing ---------------------------------------------------------------
+
+    def _forward_and_relay(
+        self, path: str, body: Optional[bytes], method: str, slot: int
+    ) -> None:
+        try:
+            status, relayed = self.server.forward(path, body, method, slot)
+        except ServiceError as error:
+            self._send_json(503, _transport_error("unavailable", str(error)))
+            return
+        self._send_raw(status, relayed, "application/json; charset=utf-8")
+
+    def _route_request(self, path: str, raw: bytes) -> None:
+        """Forward one per-kind request to its fingerprint-routed worker.
+
+        The body is parsed only to *extract references* — it is forwarded
+        verbatim, so worker responses (including validation errors for
+        malformed bodies) are byte-identical to single-process serving.
+        """
+        slot = self.server.slot_for_body(raw)
+        self._forward_and_relay(path, raw, "POST", slot)
+
+    def _route_batch(self, raw: bytes) -> None:
+        """Split a batch by routing slot, fan out, reassemble in input order."""
+        try:
+            document = json.loads(raw) if raw else None
+        except ValueError:
+            document = None
+        entries = document.get("requests") if isinstance(document, dict) else document
+        if not isinstance(entries, list) or not entries:
+            # Not a routable batch shape: forward verbatim so the worker
+            # produces exactly the single-process validation error.
+            self._forward_and_relay("/v2/batch", raw, "POST", 0)
+            return
+        groups: Dict[int, List[int]] = {}
+        for index, entry in enumerate(entries):
+            references = request_references(entry) if isinstance(entry, dict) else ()
+            key = routing_key(references, self.server.fingerprints)
+            groups.setdefault(worker_slot(key, self.server.pool.size), []).append(index)
+        results: List[Optional[Dict[str, object]]] = [None] * len(entries)
+
+        def run_group(slot: int, indices: List[int]) -> None:
+            body = json.dumps(
+                {"requests": [entries[index] for index in indices]}
+            ).encode("utf-8")
+            envelopes: Optional[List[Dict[str, object]]] = None
+            try:
+                status, relayed = self.server.forward("/v2/batch", body, "POST", slot)
+                payload = json.loads(relayed)
+                if status == 200 and isinstance(payload.get("results"), list):
+                    group_results = payload["results"]
+                    if len(group_results) == len(indices):
+                        envelopes = group_results
+            except (ServiceError, ValueError):
+                envelopes = None
+            if envelopes is None:
+                envelopes = [
+                    self.server.unavailable_envelope(entries[index])
+                    for index in indices
+                ]
+            for index, envelope in zip(indices, envelopes):
+                results[index] = envelope
+
+        with ThreadPoolExecutor(max_workers=min(len(groups), 16)) as fan_out:
+            for slot, indices in groups.items():
+                fan_out.submit(run_group, slot, indices)
+        self._send_json(
+            200, {"protocol": PROTOCOL_VERSION, "results": results}
+        )
+
+
+class ShardRouter(V2ServerBase):
+    """Fingerprint-routing HTTP proxy over a :class:`WorkerPool`.
+
+    Parameters
+    ----------
+    pool:
+        The (already started) worker pool requests are routed onto.
+    host / port:
+        Bind address; ``port=0`` picks a free ephemeral port (see ``.port``).
+    fingerprints:
+        The snapshot's ``(kind, name) -> fingerprint`` index
+        (:func:`repro.snapshot.snapshot_fingerprints`); names missing from
+        the index still route deterministically by name.
+    forward_timeout_s:
+        Socket timeout for one forwarded request (quantify searches over
+        large populations can be slow cold).
+    retry_window_s:
+        How long a request keeps retrying when *no* worker is reachable
+        (covers the pool's restart backoff for a single-worker fleet) before
+        the router answers 503 itself.
+    verbose:
+        Re-enable per-request stderr log lines.
+    """
+
+    thread_name = "fairank-router"
+
+    def __init__(
+        self,
+        pool: WorkerPool,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        fingerprints: Optional[FingerprintIndex] = None,
+        forward_timeout_s: float = 300.0,
+        retry_window_s: float = 30.0,
+        verbose: bool = False,
+    ) -> None:
+        super().__init__(host, port, _RouterHandler)
+        self.pool = pool
+        self.fingerprints: FingerprintIndex = dict(fingerprints or {})
+        self.forward_timeout_s = forward_timeout_s
+        self.retry_window_s = retry_window_s
+        self.verbose = verbose
+        self._retried_forwards = 0
+
+    # -- routing / forwarding --------------------------------------------------
+
+    def slot_for_body(self, raw: bytes) -> int:
+        """The routing slot for a request body (tolerant of malformed JSON)."""
+        references: Tuple = ()
+        try:
+            payload = json.loads(raw) if raw else None
+        except ValueError:
+            payload = None
+        if isinstance(payload, dict):
+            references = request_references(payload)
+        return worker_slot(routing_key(references, self.fingerprints), self.pool.size)
+
+    def _send(
+        self,
+        worker: WorkerHandle,
+        path: str,
+        body: Optional[bytes],
+        method: str,
+        timeout_s: Optional[float] = None,
+    ) -> Tuple[int, bytes]:
+        """One HTTP exchange with one worker (no retry)."""
+        request = urllib.request.Request(
+            f"{worker.base_url}{path}",
+            data=body,
+            headers={} if body is None else {"Content-Type": "application/json"},
+            method=method,
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=timeout_s or self.forward_timeout_s
+            ) as response:
+                return response.status, response.read()
+        except urllib.error.HTTPError as error:
+            # A non-2xx answer is a *served* response (error envelopes map to
+            # 400/404/422/405); relay it instead of treating it as a failure.
+            return error.code, error.read()
+
+    def forward(
+        self, path: str, body: Optional[bytes], method: str, preferred_slot: int
+    ) -> Tuple[int, bytes]:
+        """Forward to the preferred worker, retrying others on failure.
+
+        Retries sweep the live candidates (preferred slot first); when the
+        whole fleet is momentarily down (single worker mid-restart), the
+        sweep repeats until ``retry_window_s`` elapses so the pool's
+        restart-with-backoff can bring a worker back before the client sees
+        an error.  Raises :class:`~repro.errors.ServiceError` when the
+        window closes without an answer.
+        """
+        deadline = time.monotonic() + self.retry_window_s
+        failures = 0
+        while True:
+            for worker in self.pool.candidates(preferred_slot):
+                try:
+                    status, relayed = self._send(worker, path, body, method)
+                except _TRANSPORT_FAILURES:
+                    failures += 1
+                    with self._stats_lock:
+                        self._retried_forwards += 1
+                    self.pool.report_failure(worker)
+                    continue
+                return status, relayed
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"no worker answered {method} {path} within "
+                    f"{self.retry_window_s:.0f}s ({failures} failed forward(s), "
+                    f"{self.pool.alive_count}/{self.pool.size} workers alive)"
+                )
+            time.sleep(0.05)
+
+    def unavailable_envelope(self, entry: object) -> Dict[str, object]:
+        """A protocol-v2 error envelope for a batch slot no worker served."""
+        kind = entry.get("kind") if isinstance(entry, dict) else None
+        return {
+            "protocol": PROTOCOL_VERSION,
+            "kind": str(kind) if kind else "unknown",
+            "key": "",
+            "payload": {},
+            "cached": False,
+            "elapsed_s": 0.0,
+            "store_stats": None,
+            "error": {
+                "code": "unavailable",
+                "message": "no worker was reachable for this batch slot",
+            },
+        }
+
+    # -- health ----------------------------------------------------------------
+
+    def health(self) -> Dict[str, object]:
+        """Aggregate liveness + statistics across the fleet.
+
+        ``status`` is ``ok`` only when every slot's worker answers its own
+        health check; ``degraded`` while any slot is down or restarting
+        (traffic still flows via retry), ``down`` when none answer.  The
+        ``catalog`` counts are proxied from a live worker so the payload
+        stays a superset of a single-process server's.
+        """
+        def probe(slot: int) -> Dict[str, object]:
+            handle = self.pool.peek(slot)
+            entry: Dict[str, object] = {
+                "slot": slot,
+                "alive": False,
+                "restarts": self.pool.restarts(slot),
+            }
+            if handle is None:
+                return entry
+            entry.update(handle.describe())
+            entry["alive"] = False  # proven below by an actual answer
+            try:
+                # Short probe timeout: a hung worker must not stall the
+                # aggregated health answer for the whole fleet.
+                status, body = self._send(
+                    handle, "/v2/health", None, "GET", timeout_s=5.0
+                )
+                payload = json.loads(body)
+            except (*_TRANSPORT_FAILURES, ValueError):
+                payload = None
+                status = 0
+            if status == 200 and isinstance(payload, dict):
+                entry["alive"] = True
+                entry["requests_served"] = payload.get("requests_served")
+                entry["cache"] = payload.get("cache")
+                entry["store_pool"] = payload.get("store_pool")
+                counts = payload.get("catalog")
+                if isinstance(counts, dict):
+                    entry["_catalog"] = counts
+            return entry
+
+        # Probed concurrently so a wedged worker costs one probe timeout,
+        # not one per slot.
+        with ThreadPoolExecutor(max_workers=self.pool.size) as probes:
+            worker_health = list(probes.map(probe, range(self.pool.size)))
+        responding = sum(1 for entry in worker_health if entry["alive"])
+        catalog_counts: Optional[Dict[str, object]] = None
+        for entry in worker_health:
+            counts = entry.pop("_catalog", None)
+            if catalog_counts is None and counts is not None:
+                catalog_counts = counts
+        if responding == self.pool.size:
+            status_label = "ok"
+        elif responding:
+            status_label = "degraded"
+        else:
+            status_label = "down"
+        with self._stats_lock:
+            retried = self._retried_forwards
+        return {
+            "status": status_label,
+            "protocol": PROTOCOL_VERSION,
+            "role": "shard-router",
+            "uptime_s": self.uptime_s,
+            "requests_served": self.requests_served,
+            "retried_forwards": retried,
+            "endpoints": list(REQUEST_ENDPOINTS) + ["batch", "catalog", "health"],
+            "routing": {
+                "strategy": "resource-fingerprint",
+                "fingerprints": len(self.fingerprints),
+            },
+            "workers": self.pool.describe() | {"health": worker_health},
+            "catalog": catalog_counts or {},
+        }

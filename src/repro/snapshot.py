@@ -37,14 +37,20 @@ from __future__ import annotations
 import json
 from dataclasses import replace as dataclass_replace
 from pathlib import Path
-from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Union
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.errors import CatalogError, FaiRankError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from repro.catalog import Catalog
 
-__all__ = ["SNAPSHOT_FORMAT", "SNAPSHOT_VERSION", "save_catalog", "load_catalog"]
+__all__ = [
+    "SNAPSHOT_FORMAT",
+    "SNAPSHOT_VERSION",
+    "save_catalog",
+    "load_catalog",
+    "snapshot_fingerprints",
+]
 
 #: Identifies a snapshot file (so arbitrary JSON is rejected loudly).
 SNAPSHOT_FORMAT = "fairank-catalog"
@@ -408,16 +414,8 @@ def _rebuild_resource(entry: Mapping[str, object]):
     return kind, _formulation_from_json(entry["formulation"])  # type: ignore[arg-type]
 
 
-def load_catalog(path: Union[str, Path]) -> "Catalog":
-    """Rebuild a :class:`~repro.catalog.Catalog` from a snapshot file.
-
-    Raises :class:`~repro.errors.CatalogError` for an unreadable or truncated
-    file, an unknown snapshot version, an unsupported resource entry, or an
-    entry whose reconstructed content fingerprint no longer matches the one
-    recorded at save time (e.g. a CSV source file that changed on disk).
-    """
-    from repro.catalog import Catalog
-
+def _read_snapshot_document(path: Union[str, Path]) -> List[Mapping[str, object]]:
+    """Read and validate a snapshot file; returns its ``resources`` entries."""
     try:
         text = Path(path).read_text(encoding="utf-8")
     except OSError as error:
@@ -442,6 +440,42 @@ def load_catalog(path: Union[str, Path]) -> "Catalog":
     entries = document.get("resources")
     if not isinstance(entries, list):
         raise CatalogError(f"catalog snapshot {path} has no 'resources' list")
+    return entries
+
+
+def snapshot_fingerprints(path: Union[str, Path]) -> Dict[Tuple[str, str], str]:
+    """The ``(kind, name) -> fingerprint`` index of a snapshot file.
+
+    Reads only the snapshot's recorded metadata — no dataset, marketplace or
+    function is rebuilt — so a *shared-nothing* process (the shard router)
+    can route requests by content fingerprint without holding any resource
+    in memory.  Validates the file exactly like :func:`load_catalog` (same
+    :class:`~repro.errors.CatalogError` failure modes for a missing file,
+    truncated JSON or an unknown version).
+    """
+    fingerprints: Dict[Tuple[str, str], str] = {}
+    for index, entry in enumerate(_read_snapshot_document(path), start=1):
+        if not isinstance(entry, Mapping) or "name" not in entry or "kind" not in entry:
+            raise CatalogError(
+                f"catalog snapshot entry #{index} is malformed (needs kind and name)"
+            )
+        fingerprint = entry.get("fingerprint")
+        if fingerprint is not None:
+            fingerprints[(str(entry["kind"]), str(entry["name"]))] = str(fingerprint)
+    return fingerprints
+
+
+def load_catalog(path: Union[str, Path]) -> "Catalog":
+    """Rebuild a :class:`~repro.catalog.Catalog` from a snapshot file.
+
+    Raises :class:`~repro.errors.CatalogError` for an unreadable or truncated
+    file, an unknown snapshot version, an unsupported resource entry, or an
+    entry whose reconstructed content fingerprint no longer matches the one
+    recorded at save time (e.g. a CSV source file that changed on disk).
+    """
+    from repro.catalog import Catalog
+
+    entries = _read_snapshot_document(path)
     catalog = Catalog()
     for index, entry in enumerate(entries, start=1):
         if not isinstance(entry, Mapping) or "name" not in entry:

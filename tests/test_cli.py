@@ -164,3 +164,55 @@ class TestExperimentsCommand:
         assert main(["experiments", "E1", "E2"]) == 0
         output = capsys.readouterr().out
         assert "E1" in output and "E2" in output
+
+
+class TestServeErrorPaths:
+    """`fairank serve` must fail fast — exit 2 + a stderr message — for a
+    registry it cannot boot, instead of binding a port it cannot serve."""
+
+    def test_missing_snapshot_file_exits_2(self, tmp_path, capsys):
+        missing = tmp_path / "nowhere.json"
+        assert main(["serve", "--catalog", str(missing), "--port", "0"]) == 2
+        captured = capsys.readouterr()
+        assert "error:" in captured.err
+        assert "cannot read catalog snapshot" in captured.err
+        assert "serving fairness protocol v2" not in captured.out
+
+    def test_missing_snapshot_file_exits_2_in_sharded_mode(self, tmp_path, capsys):
+        missing = tmp_path / "nowhere.json"
+        assert main(["serve", "--catalog", str(missing),
+                     "--workers", "3", "--port", "0"]) == 2
+        captured = capsys.readouterr()
+        assert "cannot read catalog snapshot" in captured.err
+        assert "serving fairness protocol v2" not in captured.out
+
+    def test_drifted_dataset_fingerprint_exits_2(self, tmp_path, capsys):
+        from repro.data.loaders import TABLE1_WEIGHTS, load_example_table1
+        from repro.scoring.linear import LinearScoringFunction
+        from repro.service import FairnessService
+
+        service = FairnessService()
+        service.register_dataset(load_example_table1(), name="table1")
+        service.register_function(
+            LinearScoringFunction(TABLE1_WEIGHTS, name="table1-f")
+        )
+        snapshot = tmp_path / "snap.json"
+        service.catalog.save(snapshot)
+        # Tamper with one individual's value but keep the recorded
+        # fingerprint: the rebuilt content no longer matches it.
+        document = json.loads(snapshot.read_text())
+        for entry in document["resources"]:
+            if entry["kind"] == "dataset":
+                entry["dataset"]["individuals"][0]["values"]["Rating"] = 99.0
+                break
+        snapshot.write_text(json.dumps(document))
+        assert main(["serve", "--catalog", str(snapshot), "--port", "0"]) == 2
+        captured = capsys.readouterr()
+        assert "drifted" in captured.err
+        assert "serving fairness protocol v2" not in captured.out
+
+    def test_truncated_snapshot_exits_2(self, tmp_path, capsys):
+        snapshot = tmp_path / "snap.json"
+        snapshot.write_text('{"format": "fairank-catalog", "version"')
+        assert main(["serve", "--catalog", str(snapshot), "--port", "0"]) == 2
+        assert "not valid JSON" in capsys.readouterr().err

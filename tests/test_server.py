@@ -332,3 +332,53 @@ class TestServeCLI:
             except subprocess.TimeoutExpired:
                 process.kill()
                 process.wait(timeout=15)
+
+
+class TestBatchMalformedSlotsOverHTTP:
+    """Error paths for batch slots that are not even request-shaped objects."""
+
+    def test_non_dict_slots_get_in_slot_envelopes(self, server):
+        body = json.dumps(
+            {
+                "requests": [
+                    {"kind": "quantify", "dataset": "table1", "function": "table1-f"},
+                    "not-a-request",
+                    42,
+                    None,
+                ]
+            }
+        ).encode()
+        status, payload = raw_call(server, "/v2/batch", method="POST", body=body)
+        assert status == 200
+        results = payload["results"]
+        assert len(results) == 4
+        assert results[0]["error"] is None
+        for slot in results[1:]:
+            assert slot["kind"] == "unknown"
+            assert slot["error"]["code"] == "service"
+            assert "must be a JSON object" in slot["error"]["message"]
+
+    def test_batch_body_that_is_not_a_list_is_400(self, server):
+        status, payload = raw_call(
+            server, "/v2/batch", method="POST", body=b'{"requests": {"kind": "x"}}'
+        )
+        assert status == 400
+        assert "non-empty list" in payload["error"]["message"]
+
+    def test_results_stay_in_input_order_around_bad_slots(self, server, client):
+        body = json.dumps(
+            {
+                "requests": [
+                    "bad",
+                    {"kind": "quantify", "dataset": "table1", "function": "table1-f"},
+                    "also bad",
+                    {"kind": "quantify", "dataset": "table1", "function": "balanced"},
+                ]
+            }
+        ).encode()
+        status, payload = raw_call(server, "/v2/batch", method="POST", body=body)
+        assert status == 200
+        oks = [entry["error"] is None for entry in payload["results"]]
+        assert oks == [False, True, False, True]
+        assert payload["results"][1]["payload"]["function"] == "table1-f"
+        assert payload["results"][3]["payload"]["function"] == "balanced"
