@@ -65,7 +65,7 @@ def _best_of_interleaved(first, second, rounds: int = ROUNDS) -> Tuple[float, fl
 
 
 def _write_results(payload: Dict[str, object]) -> None:
-    write_results(_RESULTS_PATH, payload)
+    write_results(_RESULTS_PATH, payload, population=POPULATION_SIZE)
 
 
 class _CountingFunction(LinearScoringFunction):

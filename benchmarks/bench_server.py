@@ -164,7 +164,13 @@ def test_concurrent_mixed_kind_http_load():
         },
         "byte_identical_to_in_process": True,
     }
-    write_results(_RESULTS_PATH, {"server_concurrent_mixed_load": block})
+    write_results(
+        _RESULTS_PATH,
+        {"server_concurrent_mixed_load": block},
+        synthetic_500=500,
+        synthetic_200=200,
+        marketplace=120,
+    )
     print(
         f"\n{len(requests)} concurrent mixed-kind HTTP requests in "
         f"{wall_clock * 1000:.0f} ms ({block['throughput_rps']} rps); "
@@ -284,7 +290,13 @@ def test_sharded_fleet_vs_single_worker():
         "single_worker": single,
         "sharded": sharded,
     }
-    write_results(_SHARD_RESULTS_PATH, {"shard_router_concurrent_mixed_load": block})
+    write_results(
+        _SHARD_RESULTS_PATH,
+        {"shard_router_concurrent_mixed_load": block},
+        synthetic_500=500,
+        synthetic_200=200,
+        marketplace=120,
+    )
     print(
         f"\nsharded {sharded['workers']}-worker fleet: cold p50 "
         f"{sharded['cold']['latency_ms']['p50']} ms / warm p50 "

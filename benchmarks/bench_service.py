@@ -40,7 +40,14 @@ _RESULTS_PATH = REPO_ROOT / "BENCH_service.json"
 
 def _write_results(payload: Dict[str, object]) -> None:
     """Merge a result block into BENCH_service.json (CI uploads it)."""
-    write_results(_RESULTS_PATH, payload)
+    write_results(
+        _RESULTS_PATH,
+        payload,
+        synthetic_300=300,
+        synthetic_1000=1_000,
+        synthetic_10000=10_000,
+        marketplace=200,
+    )
 
 
 def build_service() -> FairnessService:

@@ -50,6 +50,8 @@ SUBPROCESS_ENV = dict(
 )
 
 from repro.catalog import Catalog  # noqa: E402
+from repro.obs.metrics import parse_prometheus  # noqa: E402
+from repro.obs.trace import Trace, activate  # noqa: E402
 from repro.server import HTTPFairnessClient  # noqa: E402
 from repro.service import (  # noqa: E402
     AuditRequest,
@@ -61,6 +63,82 @@ from repro.service import (  # noqa: E402
 
 MARKET_SIZE = "60"
 BOOT_TIMEOUT_S = 60.0
+
+#: Requests executed per kind by the gate before the metrics scrape: one
+#: single call each, plus the quantify/sweep/audit entries of the batch leg
+#: (the counter increments per execute, cache hit or not).
+EXPECTED_REQUESTS = {
+    "quantify": 2,
+    "audit": 2,
+    "sweep": 2,
+    "compare": 1,
+    "breakdown": 1,
+    "end_user": 1,
+    "job_owner": 1,
+}
+
+
+def check_metrics(port: int, workers: int) -> int:
+    """Scrape ``/v2/metrics`` and audit the request counters. Returns failures."""
+    import urllib.request
+
+    with urllib.request.urlopen(
+        f"http://127.0.0.1:{port}/v2/metrics", timeout=60
+    ) as response:
+        content_type = response.headers.get("Content-Type", "")
+        body = response.read().decode("utf-8")
+    failures = 0
+    if "text/plain" not in content_type:
+        failures += 1
+        print(f"[e2e] FAIL: /v2/metrics content type {content_type!r}")
+    page = parse_prometheus(body)  # raises SystemExit-worthy ValueError if malformed
+    executed = page.sum_by_label("fairank_requests_total", "kind")
+    observed_latency = page.sum_by_label("fairank_request_seconds_count", "kind")
+    for kind, expected in EXPECTED_REQUESTS.items():
+        observed = executed.get(kind, 0.0)
+        if observed != expected:
+            failures += 1
+            print(f"[e2e] FAIL: fairank_requests_total kind={kind} is "
+                  f"{observed:g}, expected {expected}")
+        if observed_latency.get(kind, 0.0) != expected:
+            failures += 1
+            print(f"[e2e] FAIL: fairank_request_seconds has no full latency "
+                  f"record for kind={kind}")
+    if workers > 1:
+        ingress = page.sum_by_label("fairank_router_requests_total", "endpoint")
+        if not ingress:
+            failures += 1
+            print("[e2e] FAIL: router metrics page carries no "
+                  "fairank_router_requests_total samples")
+    if not failures:
+        surface = "aggregated fleet" if workers > 1 else "server"
+        print(f"[e2e] metrics: {surface} page parses, per-kind counters match "
+              f"({sum(EXPECTED_REQUESTS.values())} requests accounted for)")
+    return failures
+
+
+def check_trace(remote: HTTPFairnessClient, workers: int) -> int:
+    """Pin a trace id through one request and audit the envelope timings."""
+    pinned = Trace("e2e-pinned-trace")
+    with activate(pinned):
+        traced = remote.quantify("table1", "table1-f")
+    timings = traced.timings or {}
+    failures = 0
+    if timings.get("trace_id") != pinned.trace_id:
+        failures += 1
+        print(f"[e2e] FAIL: envelope trace id {timings.get('trace_id')!r} is not "
+              f"the pinned ingress id {pinned.trace_id!r}")
+    if "total_ms" not in timings:
+        failures += 1
+        print(f"[e2e] FAIL: envelope timings carry no total_ms: {timings}")
+    if workers > 1 and "route_ms" not in timings:
+        failures += 1
+        print(f"[e2e] FAIL: router did not stamp route_ms: {timings}")
+    if not failures:
+        hops = "client -> router -> worker" if workers > 1 else "client -> server"
+        print(f"[e2e] trace: one id spans {hops} "
+              f"(total {timings.get('total_ms')} ms)")
+    return failures
 
 
 def build_snapshot(path: Path) -> None:
@@ -199,6 +277,11 @@ def main() -> int:
                     print(f"[e2e] FAIL: batched {request.kind} diverged")
             print(f"[e2e] batch of {len(batch_requests)}: "
                   f"{len(via_batch)} envelopes, order preserved")
+
+            # Scrape before the trace leg so the per-kind expectations above
+            # stay exact; the extra traced quantify lands after the audit.
+            failures += check_metrics(port, arguments.workers)
+            failures += check_trace(remote, arguments.workers)
         finally:
             process.terminate()
             try:

@@ -166,7 +166,11 @@ def build_parser() -> argparse.ArgumentParser:
                              help="per-worker thread-pool width of /v2/batch "
                                   "(default: auto)")
     http_parser.add_argument("--verbose", action="store_true",
-                             help="log every request line to stderr")
+                             help="emit a structured JSON log event per request "
+                                  "to stderr")
+    http_parser.add_argument("--slow-ms", type=float, default=None,
+                             help="log any request at or above this many "
+                                  "milliseconds even without --verbose")
     _add_registry_arguments(http_parser)
 
     return parser
@@ -487,6 +491,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         port=args.port,
         max_workers=args.batch_workers,
         verbose=args.verbose,
+        slow_ms=args.slow_ms,
     )
     # Handlers first, announcement second: a supervisor may signal the
     # instant it has parsed the port line off stdout.
@@ -541,6 +546,8 @@ def _cmd_serve_sharded(args: argparse.Namespace) -> int:
             worker_arguments += ["--batch-workers", str(args.batch_workers)]
         if args.verbose:
             worker_arguments += ["--verbose"]
+        if args.slow_ms is not None:
+            worker_arguments += ["--slow-ms", str(args.slow_ms)]
         pool = WorkerPool(
             snapshot_path, args.workers, host=args.host,
             worker_arguments=worker_arguments,
@@ -553,6 +560,7 @@ def _cmd_serve_sharded(args: argparse.Namespace) -> int:
                 port=args.port,
                 fingerprints=fingerprints,
                 verbose=args.verbose,
+                slow_ms=args.slow_ms,
             )
             stop_requested = _install_shutdown_handlers(router)
             _announce_serving(args, counts, router.base_url, workers=args.workers)

@@ -52,6 +52,7 @@ import numpy as np
 from repro.data.dataset import Dataset, Individual, order_values
 from repro.data.schema import Attribute
 from repro.metrics.histogram import Binning, Histogram, build_histogram
+from repro.obs.trace import span as trace_span
 from repro.scoring.base import ScoringFunction, frozen_scores
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
@@ -284,7 +285,10 @@ class ScoreStore:
             return vector
         with self._lock:
             if self._vector is None:
-                self._vector = frozen_scores(self.function, self.dataset)
+                # Timed into the active request trace (no-op outside one), so
+                # a cold envelope's timings show its materialization cost.
+                with trace_span("score"):
+                    self._vector = frozen_scores(self.function, self.dataset)
                 self._scoring_passes += 1
             return self._vector
 

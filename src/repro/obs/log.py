@@ -1,0 +1,99 @@
+"""Structured JSON logging for the serving stack.
+
+One line per event, one JSON object per line, written to stderr by default
+(worker stderr is merged into the stdout the pool pumps, so worker events
+surface in the pool's diagnostic tail).  Two classes of event:
+
+* **lifecycle events** (:meth:`ObsLogger.event`) — worker crashes, boots,
+  restarts, retried forwards — always emitted: they are rare and each one
+  matters to an operator;
+* **request events** (:meth:`ObsLogger.request`) — one per served request,
+  emitted only when ``verbose`` is on *or* the request breached the
+  ``slow_ms`` threshold (then stamped ``"slow": true``), so production
+  serving stays quiet while every slow answer leaves evidence.
+
+Every record carries a UTC timestamp and, inside a shard worker, the
+worker's slot (from the ``FAIRANK_WORKER_SLOT`` environment the pool sets),
+so a fleet's merged log stream stays attributable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+from datetime import datetime, timezone
+from typing import IO, Dict, Optional
+
+__all__ = ["ObsLogger", "WORKER_SLOT_ENV", "get_logger"]
+
+#: Environment variable the worker pool sets to the worker's routing slot.
+WORKER_SLOT_ENV = "FAIRANK_WORKER_SLOT"
+
+
+class ObsLogger:
+    """JSON-lines event logger with verbose and slow-request gating.
+
+    Parameters
+    ----------
+    stream:
+        Destination; ``None`` resolves to ``sys.stderr`` at emit time (so
+        redirected/captured stderr is honoured).
+    verbose:
+        Emit every request event (lifecycle events are always emitted).
+    slow_ms:
+        When set, a request event whose duration meets the threshold is
+        emitted even without ``verbose`` and marked ``"slow": true``.
+    """
+
+    def __init__(
+        self,
+        stream: Optional[IO[str]] = None,
+        *,
+        verbose: bool = False,
+        slow_ms: Optional[float] = None,
+    ) -> None:
+        self.stream = stream
+        self.verbose = verbose
+        self.slow_ms = slow_ms
+        self._lock = threading.Lock()
+
+    def event(self, event: str, **fields: object) -> None:
+        """Emit a lifecycle event (always)."""
+        self._emit(event, fields)
+
+    def request(self, event: str, duration_ms: float, **fields: object) -> None:
+        """Emit a request event, honouring the verbose / slow-request gates."""
+        slow = self.slow_ms is not None and duration_ms >= self.slow_ms
+        if not (self.verbose or slow):
+            return
+        record: Dict[str, object] = dict(fields)
+        record["duration_ms"] = round(duration_ms, 3)
+        if slow:
+            record["slow"] = True
+        self._emit(event, record)
+
+    def _emit(self, event: str, fields: Dict[str, object]) -> None:
+        record: Dict[str, object] = {
+            "ts": datetime.now(timezone.utc).isoformat(timespec="milliseconds"),
+            "event": event,
+        }
+        slot = os.environ.get(WORKER_SLOT_ENV)
+        if slot is not None:
+            record["worker"] = slot
+        record.update(
+            (key, value) for key, value in fields.items() if value is not None
+        )
+        line = json.dumps(record, default=str, separators=(",", ":"))
+        stream = self.stream if self.stream is not None else sys.stderr
+        with self._lock:
+            print(line, file=stream, flush=True)
+
+
+_DEFAULT_LOGGER = ObsLogger()
+
+
+def get_logger() -> ObsLogger:
+    """The process-wide default logger (lifecycle events only by default)."""
+    return _DEFAULT_LOGGER

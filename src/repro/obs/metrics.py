@@ -1,0 +1,441 @@
+"""Process-wide metrics: counters, gauges and fixed-bucket histograms.
+
+The serving stack (``FairnessService``, the HTTP front end, the shard
+router and the worker pool) records everything it does into one
+process-wide :class:`MetricsRegistry` — stdlib only, thread-safe, and
+rendered in the Prometheus text exposition format so ``GET /v2/metrics``
+can be scraped by any off-the-shelf collector:
+
+* **counters** only go up (``fairank_requests_total{kind="quantify"}``);
+* **gauges** snapshot a current value (cache entries, live workers);
+* **histograms** bucket latencies against a fixed ``le`` boundary list,
+  rendered as the conventional ``_bucket`` / ``_sum`` / ``_count`` series.
+
+Every metric family supports labels; a (family, label-set) pair is one
+time series.  :func:`parse_prometheus` is the inverse of
+:meth:`MetricsRegistry.render` — the shard router uses it to aggregate
+per-worker scrapes (summing samples series-by-series), and the CI gate
+uses it to assert that the exposed text is actually parseable and that
+the request counters match the requests it sent.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ParsedMetrics",
+    "get_registry",
+    "merge_parsed",
+    "parse_prometheus",
+    "render_parsed",
+]
+
+#: Latency bucket upper bounds in seconds (quantify searches span ~1ms cached
+#: to multi-second cold sweeps; the +Inf bucket is implicit).
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: One series key: sorted, hashable rendering of a label mapping.
+LabelItems = Tuple[Tuple[str, str], ...]
+
+
+def _label_items(labels: Mapping[str, object]) -> LabelItems:
+    return tuple(sorted((str(key), str(value)) for key, value in labels.items()))
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_series(name: str, items: LabelItems) -> str:
+    if not items:
+        return name
+    inner = ",".join(f'{key}="{_escape_label_value(value)}"' for key, value in items)
+    return f"{name}{{{inner}}}"
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+class _Metric:
+    """Base class: one family (name, kind, help) holding labelled series."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str) -> None:
+        self.name = name
+        self.help = help_text
+        self._lock = threading.Lock()
+
+    def _validate_labels(self, labels: Mapping[str, object]) -> LabelItems:
+        return _label_items(labels)
+
+
+class Counter(_Metric):
+    """A monotonically increasing value per label set."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help_text: str = "") -> None:
+        super().__init__(name, help_text)
+        self._values: Dict[LabelItems, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (amount={amount})")
+        items = self._validate_labels(labels)
+        with self._lock:
+            self._values[items] = self._values.get(items, 0.0) + amount
+
+    def value(self, **labels: object) -> float:
+        with self._lock:
+            return self._values.get(_label_items(labels), 0.0)
+
+    def samples(self) -> List[Tuple[str, LabelItems, float]]:
+        with self._lock:
+            return [(self.name, items, value) for items, value in self._values.items()]
+
+
+class Gauge(_Metric):
+    """A point-in-time value per label set (may go up or down)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help_text: str = "") -> None:
+        super().__init__(name, help_text)
+        self._values: Dict[LabelItems, float] = {}
+
+    def set(self, value: float, **labels: object) -> None:
+        items = self._validate_labels(labels)
+        with self._lock:
+            self._values[items] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        items = self._validate_labels(labels)
+        with self._lock:
+            self._values[items] = self._values.get(items, 0.0) + amount
+
+    def value(self, **labels: object) -> float:
+        with self._lock:
+            return self._values.get(_label_items(labels), 0.0)
+
+    def samples(self) -> List[Tuple[str, LabelItems, float]]:
+        with self._lock:
+            return [(self.name, items, value) for items, value in self._values.items()]
+
+
+class _HistogramSeries:
+    __slots__ = ("bucket_counts", "total", "count")
+
+    def __init__(self, bucket_count: int) -> None:
+        self.bucket_counts = [0] * bucket_count  # per-bucket (non-cumulative)
+        self.total = 0.0
+        self.count = 0
+
+
+class Histogram(_Metric):
+    """Fixed-bucket latency histogram per label set.
+
+    Buckets are upper bounds in ascending order; the ``+Inf`` bucket is
+    implicit.  Rendered cumulatively as Prometheus expects.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> None:
+        super().__init__(name, help_text)
+        bounds = tuple(float(bound) for bound in buckets)
+        if not bounds or any(later <= earlier for later, earlier in zip(bounds[1:], bounds)):
+            raise ValueError(f"histogram {name} needs ascending, non-empty buckets")
+        self.buckets = bounds
+        self._series: Dict[LabelItems, _HistogramSeries] = {}
+
+    def observe(self, value: float, **labels: object) -> None:
+        items = self._validate_labels(labels)
+        value = float(value)
+        with self._lock:
+            series = self._series.get(items)
+            if series is None:
+                series = self._series[items] = _HistogramSeries(len(self.buckets) + 1)
+            for index, bound in enumerate(self.buckets):
+                if value <= bound:
+                    series.bucket_counts[index] += 1
+                    break
+            else:
+                series.bucket_counts[-1] += 1  # +Inf
+            series.total += value
+            series.count += 1
+
+    def count(self, **labels: object) -> int:
+        with self._lock:
+            series = self._series.get(_label_items(labels))
+            return series.count if series is not None else 0
+
+    def samples(self) -> List[Tuple[str, LabelItems, float]]:
+        out: List[Tuple[str, LabelItems, float]] = []
+        with self._lock:
+            for items, series in self._series.items():
+                cumulative = 0
+                for bound, bucket in zip(self.buckets, series.bucket_counts):
+                    cumulative += bucket
+                    out.append(
+                        (f"{self.name}_bucket",
+                         items + (("le", _format_value(bound)),), float(cumulative))
+                    )
+                cumulative += series.bucket_counts[-1]
+                out.append(
+                    (f"{self.name}_bucket", items + (("le", "+Inf"),), float(cumulative))
+                )
+                out.append((f"{self.name}_sum", items, series.total))
+                out.append((f"{self.name}_count", items, float(series.count)))
+        return out
+
+
+class MetricsRegistry:
+    """A named collection of metric families with get-or-create semantics.
+
+    ``counter`` / ``gauge`` / ``histogram`` return the existing family when
+    one with that name is already registered (and raise if it was registered
+    as a different kind), so call sites can resolve their metrics at use
+    time without import-order coupling.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: "Dict[str, _Metric]" = {}
+
+    def _get_or_create(self, name: str, factory, kind: str) -> _Metric:
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if existing.kind != kind:
+                    raise ValueError(
+                        f"metric {name!r} is already registered as a "
+                        f"{existing.kind}, not a {kind}"
+                    )
+                return existing
+            metric = factory()
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help_text: str = "") -> Counter:
+        return self._get_or_create(name, lambda: Counter(name, help_text), "counter")  # type: ignore[return-value]
+
+    def gauge(self, name: str, help_text: str = "") -> Gauge:
+        return self._get_or_create(name, lambda: Gauge(name, help_text), "gauge")  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(
+            name, lambda: Histogram(name, help_text, buckets), "histogram"
+        )  # type: ignore[return-value]
+
+    def families(self) -> List[_Metric]:
+        with self._lock:
+            return sorted(self._metrics.values(), key=lambda metric: metric.name)
+
+    def render(self) -> str:
+        """The Prometheus text exposition of every registered family."""
+        lines: List[str] = []
+        for metric in self.families():
+            if metric.help:
+                lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+            for sample_name, items, value in metric.samples():
+                lines.append(
+                    f"{_format_series(sample_name, items)} {_format_value(value)}"
+                )
+        return "\n".join(lines) + "\n"
+
+    def snapshot(self) -> Dict[str, object]:
+        """A JSON-able dump of every family (benchmark artifacts)."""
+        out: Dict[str, object] = {}
+        for metric in self.families():
+            out[metric.name] = {
+                "kind": metric.kind,
+                "samples": [
+                    {"name": sample_name, "labels": dict(items), "value": value}
+                    for sample_name, items, value in metric.samples()
+                ],
+            }
+        return out
+
+    def reset(self) -> None:
+        """Drop every registered family (test isolation)."""
+        with self._lock:
+            self._metrics.clear()
+
+
+_DEFAULT_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry every layer records into."""
+    return _DEFAULT_REGISTRY
+
+
+# -- parsing / aggregation -----------------------------------------------------
+
+
+class ParsedMetrics:
+    """A parsed Prometheus text page: family types plus flat samples.
+
+    ``samples`` keys are ``(sample_name, label_items)`` — histogram
+    ``_bucket`` / ``_sum`` / ``_count`` series stay flat, which makes
+    summing pages across workers a dict merge.
+    """
+
+    def __init__(self) -> None:
+        self.types: Dict[str, str] = {}
+        self.helps: Dict[str, str] = {}
+        self.samples: Dict[Tuple[str, LabelItems], float] = {}
+
+    def value(self, name: str, **labels: object) -> float:
+        return self.samples.get((name, _label_items(labels)), 0.0)
+
+    def sum_by_label(self, name: str, label: str) -> Dict[str, float]:
+        """Sum a family's samples grouped by one label's value."""
+        totals: Dict[str, float] = {}
+        for (sample_name, items), value in self.samples.items():
+            if sample_name != name:
+                continue
+            for key, label_value in items:
+                if key == label:
+                    totals[label_value] = totals.get(label_value, 0.0) + value
+        return totals
+
+
+def _parse_sample_line(line: str) -> Tuple[str, LabelItems, float]:
+    if "{" in line:
+        name, _, rest = line.partition("{")
+        label_blob, _, value_part = rest.rpartition("}")
+        items: List[Tuple[str, str]] = []
+        blob = label_blob
+        while blob:
+            key, sep, blob = blob.partition("=")
+            if not sep or not blob.startswith('"'):
+                raise ValueError(f"malformed label set in {line!r}")
+            # Scan the quoted value honouring backslash escapes.
+            index, chars = 1, []
+            while index < len(blob):
+                char = blob[index]
+                if char == "\\" and index + 1 < len(blob):
+                    escaped = blob[index + 1]
+                    chars.append({"n": "\n", '"': '"', "\\": "\\"}.get(escaped, escaped))
+                    index += 2
+                    continue
+                if char == '"':
+                    break
+                chars.append(char)
+                index += 1
+            else:
+                raise ValueError(f"unterminated label value in {line!r}")
+            items.append((key.strip(), "".join(chars)))
+            blob = blob[index + 1:].lstrip(",")
+        value_text = value_part.strip()
+    else:
+        name, _, value_text = line.partition(" ")
+        items = []
+        value_text = value_text.strip()
+    name = name.strip()
+    if not name or not value_text:
+        raise ValueError(f"malformed sample line {line!r}")
+    value = float("inf") if value_text == "+Inf" else float(value_text)
+    return name, tuple(sorted(items)), value
+
+
+def parse_prometheus(text: str) -> ParsedMetrics:
+    """Parse a Prometheus text page (raises ``ValueError`` on malformed input)."""
+    parsed = ParsedMetrics()
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_text = rest.partition(" ")
+            parsed.helps[name] = help_text
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            parsed.types[name] = kind.strip()
+            continue
+        if line.startswith("#"):
+            continue
+        name, items, value = _parse_sample_line(line)
+        key = (name, items)
+        parsed.samples[key] = parsed.samples.get(key, 0.0) + value
+    return parsed
+
+
+def merge_parsed(pages: Iterable[ParsedMetrics]) -> ParsedMetrics:
+    """Sum several parsed pages series-by-series (fleet aggregation).
+
+    Counters and histogram series sum exactly; gauges sum too, which for a
+    fleet reads as a total (e.g. cache entries across all workers).
+    """
+    merged = ParsedMetrics()
+    for page in pages:
+        merged.types.update(page.types)
+        merged.helps.update(page.helps)
+        for key, value in page.samples.items():
+            merged.samples[key] = merged.samples.get(key, 0.0) + value
+    return merged
+
+
+def render_parsed(parsed: ParsedMetrics) -> str:
+    """Render a parsed/merged page back to Prometheus text, grouped by family."""
+
+    def family_of(sample_name: str) -> str:
+        for suffix in ("_bucket", "_sum", "_count"):
+            base = sample_name[: -len(suffix)] if sample_name.endswith(suffix) else None
+            if base and parsed.types.get(base) == "histogram":
+                return base
+        return sample_name
+
+    by_family: Dict[str, List[Tuple[str, LabelItems, float]]] = {}
+    for (sample_name, items), value in parsed.samples.items():
+        by_family.setdefault(family_of(sample_name), []).append(
+            (sample_name, items, value)
+        )
+    def series_key(sample: Tuple[str, LabelItems, float]):
+        # Histogram buckets must ascend by numeric ``le`` (with +Inf last),
+        # not lexically; everything else sorts by its label items.
+        sample_name, items, _ = sample
+        le = dict(items).get("le")
+        bound = float("inf") if le in (None, "+Inf") else float(le)
+        others = tuple(pair for pair in items if pair[0] != "le")
+        return (sample_name, others, bound)
+
+    lines: List[str] = []
+    for family in sorted(by_family):
+        help_text = parsed.helps.get(family)
+        if help_text:
+            lines.append(f"# HELP {family} {help_text}")
+        lines.append(f"# TYPE {family} {parsed.types.get(family, 'untyped')}")
+        for sample_name, items, value in sorted(by_family[family], key=series_key):
+            lines.append(f"{_format_series(sample_name, items)} {_format_value(value)}")
+    return "\n".join(lines) + "\n"

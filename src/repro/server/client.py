@@ -36,6 +36,7 @@ import urllib.request
 from typing import Dict, List, Sequence, Tuple
 
 from repro.errors import ServiceError
+from repro.obs.trace import TRACE_HEADER, current_trace_id, new_trace_id
 from repro.service.client import FairnessClientBase
 from repro.service.jobs import ServiceRequest, ServiceResult
 from repro.server.http import _batch_results_from_json
@@ -92,18 +93,31 @@ class HTTPFairnessClient(FairnessClientBase):
                 f"invalid response from fairness server at {self.base_url}: {error}"
             ) from None
 
+    @staticmethod
+    def _trace_headers() -> Dict[str, str]:
+        """The outgoing trace header: join the caller's trace or open one.
+
+        The client is an *ingress*: inside an already-traced context (a
+        server calling out, a test pinning an id) the active id propagates;
+        otherwise each call gets a fresh id, so the server-side log line and
+        the envelope's ``timings.trace_id`` are correlatable either way.
+        """
+        return {TRACE_HEADER: current_trace_id() or new_trace_id()}
+
     def _post(self, path: str, payload: Dict[str, object]) -> Tuple[int, Dict[str, object]]:
         request = urllib.request.Request(
             f"{self.base_url}{path}",
             data=json.dumps(payload).encode("utf-8"),
-            headers={"Content-Type": "application/json"},
+            headers={"Content-Type": "application/json", **self._trace_headers()},
             method="POST",
         )
         return self._round_trip(request)
 
     def _get(self, path: str) -> Dict[str, object]:
         status, payload = self._round_trip(
-            urllib.request.Request(f"{self.base_url}{path}", method="GET")
+            urllib.request.Request(
+                f"{self.base_url}{path}", headers=self._trace_headers(), method="GET"
+            )
         )
         if status != 200:
             raise ServiceError(

@@ -4,7 +4,7 @@ FaiRank is presented as an *interactive system*: auditors, end users and job
 owners query it live.  :class:`FairnessHTTPServer` is that serving surface —
 a :class:`http.server.ThreadingHTTPServer` (one thread per connection, no
 third-party dependencies) exposing one POST endpoint per protocol-v2 request
-kind plus batch execution and two read-only GETs:
+kind plus batch execution and three read-only GETs:
 
 ================  ======  ====================================================
 endpoint          method  body / response
@@ -19,6 +19,7 @@ endpoint          method  body / response
 ``/v2/batch``     POST    ``{"requests": [...]}`` through the batch executor
 ``/v2/catalog``   GET     the catalogue listing (``Catalog.describe()``)
 ``/v2/health``    GET     liveness + cache / store-pool / uptime statistics
+``/v2/metrics``   GET     the process metrics registry as Prometheus text
 ================  ======  ====================================================
 
 Every POST body travels through the same :func:`~repro.service.jobs.request_from_json`
@@ -36,6 +37,13 @@ structured ``{"code", "message"}`` payload still travels in the body);
 ``405`` for a method an endpoint does not speak.  ``/v2/batch`` always
 answers ``200`` with one envelope per slot — per-request failures are
 in-slot, exactly like ``serve-batch``.
+
+Observability (:mod:`repro.obs`): every request runs under a trace —
+inherited from the ``X-Fairank-Trace`` request header or freshly generated —
+whose id is echoed in the response header and in the envelope's ``timings``
+field; each response increments ``<prefix>_requests_total`` and lands in
+``<prefix>_request_seconds``, and a structured JSON log event is emitted
+when ``verbose`` is on or the request breached ``slow_ms``.
 """
 
 from __future__ import annotations
@@ -48,6 +56,9 @@ from typing import Dict, List, Optional, Tuple
 from urllib.parse import urlsplit
 
 from repro.errors import FaiRankError, ServiceError
+from repro.obs.log import ObsLogger
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.trace import TRACE_HEADER, Trace, activate, valid_trace_id
 from repro.service.executor import BatchExecutor
 from repro.service.jobs import PROTOCOL_VERSION, ServiceResult, request_from_json
 from repro.service.service import FairnessService, _error_code
@@ -69,6 +80,16 @@ REQUEST_ENDPOINTS: Tuple[str, ...] = (
 _STATUS_BY_ERROR_CODE = {"catalog": 404}
 _DEFAULT_ERROR_STATUS = 422
 
+#: Prometheus text exposition content type (``/v2/metrics``).
+METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Endpoint label values for the HTTP metrics; unknown paths collapse to
+#: "other" so random 404 traffic cannot explode the label cardinality.
+_KNOWN_PATHS = frozenset(
+    {"/v2/health", "/v2/catalog", "/v2/metrics", "/v2/batch"}
+    | {f"/v2/{kind}" for kind in REQUEST_ENDPOINTS}
+)
+
 
 def _transport_error(code: str, message: str) -> Dict[str, object]:
     """A bodyless-failure payload (same shape as an envelope's ``error``)."""
@@ -80,8 +101,11 @@ class _JSONRequestHandler(BaseHTTPRequestHandler):
 
     Both the single-process server below and the shard router
     (:mod:`repro.shard.router`) subclass this: keep-alive-safe body
-    draining, JSON responses, per-server request counting and quiet
-    logging live here so the two serving surfaces cannot drift apart.
+    draining, JSON responses, request dispatch with trace activation,
+    per-server request counting/metrics and structured logging live here so
+    the two serving surfaces cannot drift apart.  Subclasses implement the
+    three surface-specific hooks (:meth:`_serve_catalog`,
+    :meth:`_serve_kind`, :meth:`_serve_batch`).
     """
 
     protocol_version = "HTTP/1.1"
@@ -90,12 +114,12 @@ class _JSONRequestHandler(BaseHTTPRequestHandler):
     # (server_close joins in-flight handler threads) indefinitely.
     timeout = 30.0
 
+    server: "V2ServerBase"
+
     # -- plumbing --------------------------------------------------------------
 
     def log_message(self, format: str, *args: object) -> None:
-        """Silence the default per-request stderr logging (opt back in via verbose)."""
-        if getattr(self.server, "verbose", False):
-            super().log_message(format, *args)
+        """Silence the stdlib's stderr lines (structured logging replaces them)."""
 
     def _send_json(self, status: int, payload: Dict[str, object]) -> None:
         self._send_raw(
@@ -107,8 +131,12 @@ class _JSONRequestHandler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        trace = getattr(self, "_trace", None)
+        if trace is not None:
+            self.send_header(TRACE_HEADER, trace.trace_id)
         self.end_headers()
         self.wfile.write(body)
+        self._status = status
         self.server._count_request()
 
     def _drain_body(self) -> bytes:
@@ -143,26 +171,62 @@ class _JSONRequestHandler(BaseHTTPRequestHandler):
         except json.JSONDecodeError as error:
             raise ServiceError(f"request body is not valid JSON: {error}") from None
 
-
-class _Handler(_JSONRequestHandler):
-    """Routes v2 endpoints onto the server's shared FairnessService."""
-
-    server: "FairnessHTTPServer"
-
-    # -- GET endpoints ---------------------------------------------------------
+    # -- dispatch --------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib handler naming
-        try:
-            self._drain_body()  # a GET with a body would desync keep-alive too
-        except ServiceError as error:
-            self._send_json(400, _transport_error(_error_code(error), str(error)))
-            return
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib handler naming
+        self._dispatch("POST")
+
+    def _dispatch(self, method: str) -> None:
+        """Route one request under a fresh (or header-inherited) trace.
+
+        A keep-alive connection reuses one handler thread for many requests,
+        so the trace is activated per dispatch (contextvar token reset on the
+        way out) — never stored on the thread.
+        """
+        started = time.perf_counter()
+        self._status: Optional[int] = None
+        trace = Trace(valid_trace_id(self.headers.get(TRACE_HEADER)))
+        self._trace = trace
         path = urlsplit(self.path).path.rstrip("/")
+        with activate(trace):
+            try:
+                raw = self._drain_body()  # always, even on 404/405 (keep-alive)
+            except ServiceError as error:
+                self._send_json(400, _transport_error(_error_code(error), str(error)))
+            else:
+                try:
+                    if method == "GET":
+                        self._handle_get(path)
+                    else:
+                        self._handle_post(path, raw)
+                except ServiceError as error:
+                    self._send_json(
+                        400, _transport_error(_error_code(error), str(error))
+                    )
+                except Exception as error:  # pragma: no cover - defensive 500
+                    self._send_json(500, _transport_error("internal", str(error)))
+        self.server._observe_http(
+            method=method,
+            path=path,
+            status=self._status if self._status is not None else 0,
+            duration_s=time.perf_counter() - started,
+            trace=trace,
+        )
+
+    def _handle_get(self, path: str) -> None:
         if path == "/v2/health":
             self._send_json(200, self.server.health())
             return
+        if path == "/v2/metrics":
+            self._send_raw(
+                200, self.server.metrics_text().encode("utf-8"), METRICS_CONTENT_TYPE
+            )
+            return
         if path == "/v2/catalog":
-            self._send_json(200, self.server.service.catalog.describe())
+            self._serve_catalog()
             return
         if path == "/v2/batch" or path.removeprefix("/v2/") in REQUEST_ENDPOINTS:
             self._send_json(
@@ -173,35 +237,42 @@ class _Handler(_JSONRequestHandler):
             404, _transport_error("not_found", f"unknown endpoint {path!r}")
         )
 
-    # -- POST endpoints --------------------------------------------------------
-
-    def do_POST(self) -> None:  # noqa: N802 - stdlib handler naming
-        path = urlsplit(self.path).path.rstrip("/")
-        try:
-            raw = self._drain_body()  # always, even on 404/405 (keep-alive)
-        except ServiceError as error:
-            self._send_json(400, _transport_error(_error_code(error), str(error)))
-            return
-        if path in ("/v2/health", "/v2/catalog"):
+    def _handle_post(self, path: str, raw: bytes) -> None:
+        if path in ("/v2/health", "/v2/catalog", "/v2/metrics"):
             self._send_json(
                 405, _transport_error("method", f"{path} only accepts GET")
             )
             return
-        try:
-            if path == "/v2/batch":
-                self._handle_batch(raw)
-                return
-            kind = path.removeprefix("/v2/")
-            if path.startswith("/v2/") and kind in REQUEST_ENDPOINTS:
-                self._handle_request(kind, raw)
-                return
-            self._send_json(
-                404, _transport_error("not_found", f"unknown endpoint {path!r}")
-            )
-        except ServiceError as error:
-            self._send_json(400, _transport_error(_error_code(error), str(error)))
-        except Exception as error:  # pragma: no cover - defensive 500
-            self._send_json(500, _transport_error("internal", str(error)))
+        if path == "/v2/batch":
+            self._serve_batch(raw)
+            return
+        kind = path.removeprefix("/v2/")
+        if path.startswith("/v2/") and kind in REQUEST_ENDPOINTS:
+            self._serve_kind(kind, path, raw)
+            return
+        self._send_json(
+            404, _transport_error("not_found", f"unknown endpoint {path!r}")
+        )
+
+    # -- surface hooks ---------------------------------------------------------
+
+    def _serve_catalog(self) -> None:
+        raise NotImplementedError  # pragma: no cover - subclasses implement
+
+    def _serve_kind(self, kind: str, path: str, raw: bytes) -> None:
+        raise NotImplementedError  # pragma: no cover - subclasses implement
+
+    def _serve_batch(self, raw: bytes) -> None:
+        raise NotImplementedError  # pragma: no cover - subclasses implement
+
+
+class _Handler(_JSONRequestHandler):
+    """Routes v2 endpoints onto the server's shared FairnessService."""
+
+    server: "FairnessHTTPServer"
+
+    def _serve_catalog(self) -> None:
+        self._send_json(200, self.server.service.catalog.describe())
 
     def _parse_request(self, payload: object, kind: Optional[str] = None):
         """Build a service request from a JSON body (path kind wins over body)."""
@@ -219,7 +290,7 @@ class _Handler(_JSONRequestHandler):
         envelope.setdefault("protocol", PROTOCOL_VERSION)
         return request_from_json(envelope)
 
-    def _handle_request(self, kind: str, raw: bytes) -> None:
+    def _serve_kind(self, kind: str, path: str, raw: bytes) -> None:
         request = self._parse_request(self._read_json_body(raw), kind)
         result = self.server.service.execute(request)
         if result.ok:
@@ -229,7 +300,7 @@ class _Handler(_JSONRequestHandler):
         status = _STATUS_BY_ERROR_CODE.get(code, _DEFAULT_ERROR_STATUS)
         self._send_json(status, result.to_json())
 
-    def _handle_batch(self, raw: bytes) -> None:
+    def _serve_batch(self, raw: bytes) -> None:
         document = self._read_json_body(raw)
         entries = document.get("requests") if isinstance(document, dict) else document
         if not isinstance(entries, list) or not entries:
@@ -269,6 +340,7 @@ class V2ServerBase(ThreadingHTTPServer):
     Both :class:`FairnessHTTPServer` and the shard router
     (:class:`repro.shard.router.ShardRouter`) are this server: bind with a
     :class:`~repro.errors.ServiceError` on failure, count served requests,
+    serve ``/v2/metrics``, record HTTP metrics and structured request logs,
     and expose the same drain-on-close, background-serving and context-
     manager semantics — one place to fix means both surfaces get the fix.
     """
@@ -288,6 +360,11 @@ class V2ServerBase(ThreadingHTTPServer):
     #: Name of the background serving thread (subclasses override).
     thread_name = "fairank-v2"
 
+    #: Metric family prefix for this surface's HTTP metrics (the router
+    #: overrides it so router ingress and worker metrics never collide when
+    #: per-worker scrapes are aggregated).
+    metrics_prefix = "fairank_http"
+
     def __init__(self, host: str, port: int, handler_class) -> None:
         try:
             super().__init__((host, port), handler_class)
@@ -297,6 +374,17 @@ class V2ServerBase(ThreadingHTTPServer):
         self._requests_served = 0
         self._stats_lock = threading.Lock()
         self._serving = False
+        self.verbose = False
+        self.slow_ms: Optional[float] = None
+        self.obs = ObsLogger()
+
+    def configure_observability(
+        self, *, verbose: bool = False, slow_ms: Optional[float] = None
+    ) -> None:
+        """Set request-log gating (every request vs slow requests only)."""
+        self.verbose = verbose
+        self.slow_ms = slow_ms
+        self.obs = ObsLogger(verbose=verbose, slow_ms=slow_ms)
 
     # -- introspection ---------------------------------------------------------
 
@@ -325,6 +413,43 @@ class V2ServerBase(ThreadingHTTPServer):
     def requests_served(self) -> int:
         with self._stats_lock:
             return self._requests_served
+
+    # -- observability ---------------------------------------------------------
+
+    def _observe_http(
+        self, *, method: str, path: str, status: int, duration_s: float, trace: Trace
+    ) -> None:
+        """Record one served HTTP exchange (metrics + structured log)."""
+        endpoint = path if path in _KNOWN_PATHS else "other"
+        registry = get_registry()
+        registry.counter(
+            f"{self.metrics_prefix}_requests_total",
+            "HTTP requests served by endpoint, method and status",
+        ).inc(endpoint=endpoint, method=method, status=str(status))
+        registry.histogram(
+            f"{self.metrics_prefix}_request_seconds",
+            "HTTP request latency by endpoint",
+        ).observe(duration_s, endpoint=endpoint)
+        self.obs.request(
+            "http_request",
+            duration_s * 1000.0,
+            trace_id=trace.trace_id,
+            method=method,
+            path=path,
+            status=status,
+        )
+
+    def _refresh_gauges(self, registry: MetricsRegistry) -> None:
+        """Update point-in-time gauges right before a scrape."""
+        registry.gauge(
+            f"{self.metrics_prefix}_uptime_seconds", "Server uptime"
+        ).set(self.uptime_s)
+
+    def metrics_text(self) -> str:
+        """The ``/v2/metrics`` page: the process registry as Prometheus text."""
+        registry = get_registry()
+        self._refresh_gauges(registry)
+        return registry.render()
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -367,7 +492,10 @@ class FairnessHTTPServer(V2ServerBase):
         Thread-pool width of the ``/v2/batch`` executor (HTTP concurrency
         itself is one thread per connection, unbounded).
     verbose:
-        Re-enable the stdlib's per-request stderr log lines.
+        Emit a structured JSON log event for every request (stderr).
+    slow_ms:
+        Emit the structured event (marked ``"slow": true``) for any request
+        at or above this many milliseconds, even without ``verbose``.
     """
 
     thread_name = "fairank-http"
@@ -380,11 +508,28 @@ class FairnessHTTPServer(V2ServerBase):
         *,
         max_workers: Optional[int] = None,
         verbose: bool = False,
+        slow_ms: Optional[float] = None,
     ) -> None:
         super().__init__(host, port, _Handler)
         self.service = service
         self.executor = BatchExecutor(service, max_workers=max_workers)
-        self.verbose = verbose
+        self.configure_observability(verbose=verbose, slow_ms=slow_ms)
+
+    def _refresh_gauges(self, registry: MetricsRegistry) -> None:
+        """Cache and store-pool statistics, exported at scrape time."""
+        super()._refresh_gauges(registry)
+        cache_stats = registry.gauge(
+            "fairank_cache_stats", "Result cache statistics snapshot"
+        )
+        for name, value in self.service.cache_stats.as_dict().items():
+            if isinstance(value, (int, float)):
+                cache_stats.set(float(value), stat=name)
+        pool_stats = registry.gauge(
+            "fairank_store_pool_stats", "Score-store pool statistics snapshot"
+        )
+        for name, value in self.service.store_stats.as_dict().items():
+            if isinstance(value, (int, float)):
+                pool_stats.set(float(value), stat=name)
 
     def health(self) -> Dict[str, object]:
         """The ``/v2/health`` payload: liveness plus serving statistics."""
@@ -393,7 +538,8 @@ class FairnessHTTPServer(V2ServerBase):
             "protocol": PROTOCOL_VERSION,
             "uptime_s": self.uptime_s,
             "requests_served": self.requests_served,
-            "endpoints": list(REQUEST_ENDPOINTS) + ["batch", "catalog", "health"],
+            "endpoints": list(REQUEST_ENDPOINTS)
+            + ["batch", "catalog", "health", "metrics"],
             "cache": self.service.cache_stats.as_dict(),
             "store_pool": self.service.store_stats.as_dict(),
             "catalog": self.service.catalog.describe()["counts"],

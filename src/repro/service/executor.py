@@ -18,7 +18,9 @@ independent requests whose answers are wanted together.  The
 
 from __future__ import annotations
 
+import contextvars
 import os
+import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
@@ -81,9 +83,20 @@ class BatchExecutor:
         futures: Dict[str, "Future[ServiceResult]"] = {}
         if first_of:
             workers = min(self.max_workers, len(first_of))
+            submitted = time.perf_counter()
+
+            def run_one(
+                context: contextvars.Context, key: str, request: ServiceRequest
+            ) -> ServiceResult:
+                # The caller's context (active trace id, see repro.obs) rides
+                # into the pool thread; the submit-to-start delta becomes the
+                # envelope's queue_ms.
+                queue_s = time.perf_counter() - submitted
+                return context.run(self.service.execute, request, key, queue_s=queue_s)
+
             with ThreadPoolExecutor(max_workers=workers) as pool:
                 futures = {
-                    key: pool.submit(self.service.execute, request, key)
+                    key: pool.submit(run_one, contextvars.copy_context(), key, request)
                     for key, request in first_of.items()
                 }
         return [

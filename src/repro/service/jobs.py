@@ -93,9 +93,15 @@ def _normalise_weight_vectors(
     vectors = []
     for entry in value:
         items = entry.items() if isinstance(entry, Mapping) else entry
-        vectors.append(
-            tuple(sorted((str(name), float(weight)) for name, weight in items))
-        )
+        try:
+            vectors.append(
+                tuple(sorted((str(name), float(weight)) for name, weight in items))
+            )
+        except (TypeError, ValueError):
+            raise ServiceError(
+                "each weight vector must map attribute names to numeric weights, "
+                f"got {entry!r}"
+            ) from None
     return tuple(vectors)
 
 
@@ -602,6 +608,14 @@ class ServiceResult:
     score-store pool (materialized scoring passes, histogram hits/misses,
     store reuse) taken when the response was assembled, so clients can watch
     the compute-once layer work without a separate monitoring call.
+
+    ``timings`` is per-request observability metadata (:mod:`repro.obs`):
+    the request's trace id plus a phase breakdown in milliseconds
+    (``key_ms``, ``compute_ms``, ``score_ms``, ``cache_ms``, ``queue_ms``
+    for batched requests, ``route_ms`` when served through the shard
+    router).  Like ``elapsed_s`` and ``store_stats`` it is *excluded* from
+    ``canonical()`` — two envelopes with different timings still compare
+    byte-identical on semantic content.
     """
 
     kind: str
@@ -610,6 +624,7 @@ class ServiceResult:
     cached: bool = False
     elapsed_s: float = 0.0
     store_stats: Optional[Dict[str, Any]] = None
+    timings: Optional[Dict[str, Any]] = None
     protocol: int = PROTOCOL_VERSION
     error: Optional[Dict[str, Any]] = None
 
@@ -645,12 +660,14 @@ class ServiceResult:
             "cached": self.cached,
             "elapsed_s": self.elapsed_s,
             "store_stats": self.store_stats,
+            "timings": self.timings,
             "error": self.error,
         }
 
     @classmethod
     def from_json(cls, payload: Mapping[str, object]) -> "ServiceResult":
         store_stats = payload.get("store_stats")
+        timings = payload.get("timings")
         error = payload.get("error")
         return cls(
             kind=str(payload["kind"]),
@@ -661,6 +678,7 @@ class ServiceResult:
             store_stats=(
                 None if store_stats is None else dict(store_stats)  # type: ignore[arg-type]
             ),
+            timings=None if timings is None else dict(timings),  # type: ignore[arg-type]
             protocol=int(payload.get("protocol", 1)),  # type: ignore[arg-type]
             error=None if error is None else dict(error),  # type: ignore[arg-type]
         )

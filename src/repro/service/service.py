@@ -44,6 +44,8 @@ from repro.core.unfairness import (
 from repro.data.dataset import Dataset
 from repro.errors import CatalogError, FaiRankError, ServiceError
 from repro.marketplace.entities import Marketplace
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.trace import Trace, activate, current_trace_id
 from repro.roles.auditor import AuditReport, Auditor
 from repro.roles.end_user import EndUser
 from repro.roles.job_owner import JobOwner, JobOwnerReport
@@ -720,6 +722,7 @@ class FairnessService:
         error: BaseException,
         key: str = "",
         elapsed_s: float = 0.0,
+        timings: Optional[Dict[str, object]] = None,
     ) -> ServiceResult:
         """The protocol-v2 error envelope for a failed request."""
         return ServiceResult(
@@ -729,15 +732,56 @@ class FairnessService:
             cached=False,
             elapsed_s=elapsed_s,
             store_stats=self.store_stats.as_dict(),
+            timings=timings,
             error={"code": _error_code(error), "message": str(error)},
         )
 
-    def execute(self, request: ServiceRequest, key: Optional[str] = None) -> ServiceResult:
+    @staticmethod
+    def _finish_timings(trace: Trace, elapsed: float) -> Dict[str, object]:
+        """The envelope's ``timings`` field: recorded spans + derived totals.
+
+        ``cache_ms`` is what is left of the wall clock after fingerprinting
+        and payload computation — cache lookup, single-flight waiting and
+        envelope assembly.  ``score_ms`` (when present) is *inside*
+        ``compute_ms``: it times the score store's materialization pass.
+        """
+        timings = trace.timings()
+        total_ms = round(elapsed * 1000.0, 3)
+        key_ms = float(timings.get("key_ms", 0.0))  # type: ignore[arg-type]
+        compute_ms = float(timings.get("compute_ms", 0.0))  # type: ignore[arg-type]
+        timings["cache_ms"] = round(max(total_ms - key_ms - compute_ms, 0.0), 3)
+        timings["total_ms"] = total_ms
+        return timings
+
+    @staticmethod
+    def _record_request(
+        kind: str, status: str, cached: bool, elapsed: float,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        registry = registry if registry is not None else get_registry()
+        registry.counter(
+            "fairank_requests_total",
+            "Executed service requests by kind, outcome and cache hit",
+        ).inc(kind=kind, status=status, cached="true" if cached else "false")
+        registry.histogram(
+            "fairank_request_seconds", "Service request latency by kind"
+        ).observe(elapsed, kind=kind)
+
+    def execute(
+        self,
+        request: ServiceRequest,
+        key: Optional[str] = None,
+        *,
+        queue_s: Optional[float] = None,
+    ) -> ServiceResult:
         """Execute one request, serving from the cache when possible.
 
         ``key`` lets callers that already computed :meth:`request_key` (the
         batch executor does, for deduplication) skip recomputing it — for
         rank-only requests the key itself involves ranking the population.
+        ``queue_s`` is how long the request waited before execution started
+        (the batch executor measures it); it lands in the envelope's
+        ``timings`` as ``queue_ms``.
 
         A request that fails with a library error (unknown resource, invalid
         formulation, empty candidate pool, ...) returns an **error envelope**
@@ -754,17 +798,33 @@ class FairnessService:
         deep copy — mutating it never corrupts the cached value.
         """
         started = time.perf_counter()
-        try:
-            if key is None:
-                key = self.request_key(request)
-            payload, hit = self.cache.get_or_compute(
-                key, lambda: self._build_payload(request)
-            )
-        except FaiRankError as error:
-            return self.error_result(
-                request, error, key=key or "", elapsed_s=time.perf_counter() - started
-            )
+        # A fresh trace per request, inheriting any active trace id (HTTP
+        # ingress, batch parent): batched requests share one trace id while
+        # keeping per-request timings.
+        trace = Trace(trace_id=current_trace_id())
+        if queue_s:
+            trace.add("queue", queue_s)
+        registry = get_registry()
+        with activate(trace):
+            try:
+                if key is None:
+                    with trace.span("key"):
+                        key = self.request_key(request)
+
+                def produce() -> Dict[str, object]:
+                    with trace.span("compute"):
+                        return self._build_payload(request)
+
+                payload, hit = self.cache.get_or_compute(key, produce)
+            except FaiRankError as error:
+                elapsed = time.perf_counter() - started
+                self._record_request(request.kind, "error", False, elapsed, registry)
+                return self.error_result(
+                    request, error, key=key or "", elapsed_s=elapsed,
+                    timings=self._finish_timings(trace, elapsed),
+                )
         elapsed = time.perf_counter() - started
+        self._record_request(request.kind, "ok", hit, elapsed, registry)
         return ServiceResult(
             kind=request.kind,
             key=key,
@@ -772,6 +832,7 @@ class FairnessService:
             cached=hit,
             elapsed_s=elapsed,
             store_stats=self.store_stats.as_dict(),
+            timings=self._finish_timings(trace, elapsed),
         )
 
     def execute_many(

@@ -36,6 +36,8 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.errors import ServiceError
+from repro.obs.log import WORKER_SLOT_ENV, get_logger
+from repro.obs.metrics import get_registry
 
 __all__ = ["WorkerHandle", "WorkerPool"]
 
@@ -168,6 +170,12 @@ class WorkerPool:
         self._env = _worker_env()
         self._slots: List[Optional[WorkerHandle]] = [None] * size
         self._restarts = [0] * size
+        # Why each slot needed lifecycle intervention: a worker that died
+        # after serving ("crash") vs a replacement that never came up
+        # ("failed_boot").  Surfaced in health payloads and metrics.
+        self._restart_reasons: List[Dict[str, int]] = [
+            {"crash": 0, "failed_boot": 0} for _ in range(size)
+        ]
         self._restarting: set = set()
         # Processes spawned but not yet slotted (mid-boot); tracked so
         # ``stop()`` can terminate a replacement worker that a restart
@@ -195,6 +203,11 @@ class WorkerPool:
             if slot is not None:
                 return self._restarts[slot]
             return sum(self._restarts)
+
+    def restart_reasons(self, slot: int) -> Dict[str, int]:
+        """Why the slot needed intervention: crash and failed-boot counts."""
+        with self._lock:
+            return dict(self._restart_reasons[slot])
 
     @property
     def alive_count(self) -> int:
@@ -225,9 +238,15 @@ class WorkerPool:
         with self._lock:
             self._reap_locked()
             slots = [
-                {"slot": index, "alive": False, "restarts": self._restarts[index]}
-                if handle is None
-                else {**handle.describe(), "restarts": self._restarts[index]}
+                {
+                    **(
+                        {"slot": index, "alive": False}
+                        if handle is None
+                        else handle.describe()
+                    ),
+                    "restarts": self._restarts[index],
+                    "restart_reasons": dict(self._restart_reasons[index]),
+                }
                 for index, handle in enumerate(self._slots)
             ]
         return {
@@ -302,6 +321,10 @@ class WorkerPool:
     def _boot_worker(self, slot: int) -> WorkerHandle:
         """Spawn one worker and wait for port announcement + health readiness."""
         argv = list(self._command(self.snapshot, self.host)) + self._worker_arguments
+        # The slot travels in the environment so every structured log event
+        # the worker emits carries a "worker" field (see repro.obs.log).
+        env = dict(self._env)
+        env[WORKER_SLOT_ENV] = str(slot)
         try:
             # A fresh session detaches workers from the terminal's process
             # group: Ctrl-C on `fairank serve` reaches only the router, which
@@ -311,7 +334,7 @@ class WorkerPool:
                 stdout=subprocess.PIPE,
                 stderr=subprocess.STDOUT,
                 text=True,
-                env=self._env,
+                env=env,
                 start_new_session=True,
             )
         except OSError as error:
@@ -327,6 +350,7 @@ class WorkerPool:
         finally:
             with self._lock:
                 self._booting.discard(process)
+        get_logger().event("worker_ready", slot=slot, pid=process.pid, port=port)
         return WorkerHandle(
             slot=slot, process=process, port=port, base_url=base_url, pump=pump
         )
@@ -409,8 +433,29 @@ class WorkerPool:
                 return  # stale handle: the slot was already replaced
             if handle.process.poll() is None:
                 return
-            self._slots[handle.slot] = None
-            self._schedule_restart_locked(handle.slot)
+            self._retire_locked(handle.slot, handle)
+
+    def _retire_locked(self, slot: int, handle: WorkerHandle) -> None:
+        """Record a crashed worker and schedule its restart (lock must be held).
+
+        The crash is a first-class lifecycle event: counted per slot with
+        its reason, logged structured (slot, pid, exit code, uptime), and
+        then healed by the backoff restart thread.
+        """
+        self._slots[slot] = None
+        self._restart_reasons[slot]["crash"] += 1
+        get_registry().counter(
+            "fairank_worker_incidents_total",
+            "Worker lifecycle incidents by slot and reason",
+        ).inc(slot=str(slot), reason="crash")
+        get_logger().event(
+            "worker_crash",
+            slot=slot,
+            pid=handle.process.pid,
+            returncode=handle.process.returncode,
+            uptime_s=round(time.monotonic() - handle.started_at, 3),
+        )
+        self._schedule_restart_locked(slot)
 
     def _reap_locked(self) -> None:
         """Drop dead handles and schedule their restarts (lock must be held)."""
@@ -418,8 +463,7 @@ class WorkerPool:
             return
         for slot, handle in enumerate(self._slots):
             if handle is not None and handle.process.poll() is not None:
-                self._slots[slot] = None
-                self._schedule_restart_locked(slot)
+                self._retire_locked(slot, handle)
 
     def _schedule_restart_locked(self, slot: int) -> None:
         """Kick off the slot's backoff restart thread (lock must be held)."""
@@ -439,15 +483,34 @@ class WorkerPool:
                     return
                 try:
                     handle = self._boot_worker(slot)
-                except ServiceError:
+                except ServiceError as error:
                     attempt += 1
+                    with self._lock:
+                        self._restart_reasons[slot]["failed_boot"] += 1
+                    get_registry().counter(
+                        "fairank_worker_incidents_total",
+                        "Worker lifecycle incidents by slot and reason",
+                    ).inc(slot=str(slot), reason="failed_boot")
+                    get_logger().event(
+                        "worker_boot_failed",
+                        slot=slot,
+                        attempt=attempt,
+                        reason=str(error).splitlines()[0],
+                    )
                     continue
                 with self._lock:
                     if self._stopping.is_set():
                         handle.process.terminate()
                         return
                     self._restarts[slot] += 1
+                    restarts = self._restarts[slot]
                     self._slots[slot] = handle
+                get_logger().event(
+                    "worker_restarted",
+                    slot=slot,
+                    pid=handle.process.pid,
+                    restarts=restarts,
+                )
                 return
         finally:
             with self._lock:

@@ -9,20 +9,29 @@ holds no dataset, no score store and no result cache, only the snapshot's
 
 * ``POST /v2/<kind>`` — compute the routing slot from the body's resource
   references (:mod:`repro.shard.routing`), forward the body verbatim to the
-  slot's worker and relay its response bytes untouched.  A worker that dies
-  mid-request is reported to the pool (which restarts it with backoff) and
-  the request retries on the next live worker — pure queries are idempotent,
-  so a mid-load crash loses no request;
+  slot's worker and relay its response.  A worker that dies mid-request is
+  reported to the pool (which restarts it with backoff) and the request
+  retries on the next live worker — pure queries are idempotent, so a
+  mid-load crash loses no request;
 * ``POST /v2/batch`` — split the batch by routing slot, fan the sub-batches
   out concurrently, and reassemble every worker's in-slot envelopes back
   into input order;
 * ``GET /v2/health`` — aggregate per-worker liveness, cache and store-pool
   statistics around the router's own serving counters;
+* ``GET /v2/metrics`` — merge the router's own registry (all families
+  ``fairank_router_*``) with every live worker's ``/v2/metrics`` page into
+  one fleet-wide Prometheus document;
 * ``GET /v2/catalog`` — proxy any live worker (all serve the same snapshot).
 
 Only when *no* worker can be reached within the retry budget does the
 router answer itself: ``503`` with an ``unavailable`` transport payload (or
 per-slot ``unavailable`` envelopes inside a batch).
+
+Tracing: the ingress trace id (header-inherited or router-generated) rides
+to the worker on ``X-Fairank-Trace``, so the worker's envelope ``timings``
+carry the *same* trace id the router logs — one id spans both hops.  The
+router additionally stamps its own forwarding time into the relayed
+envelope as ``timings.route_ms``.
 """
 
 from __future__ import annotations
@@ -34,9 +43,17 @@ import urllib.error
 import urllib.request
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Optional, Tuple
-from urllib.parse import urlsplit
 
 from repro.errors import ServiceError
+from repro.obs.metrics import (
+    MetricsRegistry,
+    ParsedMetrics,
+    get_registry,
+    merge_parsed,
+    parse_prometheus,
+    render_parsed,
+)
+from repro.obs.trace import TRACE_HEADER, current_trace_id
 from repro.server.http import (
     REQUEST_ENDPOINTS,
     V2ServerBase,
@@ -65,55 +82,8 @@ class _RouterHandler(_JSONRequestHandler):
 
     server: "ShardRouter"
 
-    # -- GET endpoints ---------------------------------------------------------
-
-    def do_GET(self) -> None:  # noqa: N802 - stdlib handler naming
-        try:
-            self._drain_body()
-        except ServiceError as error:
-            self._send_json(400, _transport_error("service", str(error)))
-            return
-        path = urlsplit(self.path).path.rstrip("/")
-        if path == "/v2/health":
-            self._send_json(200, self.server.health())
-            return
-        if path == "/v2/catalog":
-            self._forward_and_relay(path, None, "GET", 0)
-            return
-        if path == "/v2/batch" or path.removeprefix("/v2/") in REQUEST_ENDPOINTS:
-            self._send_json(
-                405, _transport_error("method", f"{path} only accepts POST")
-            )
-            return
-        self._send_json(
-            404, _transport_error("not_found", f"unknown endpoint {path!r}")
-        )
-
-    # -- POST endpoints --------------------------------------------------------
-
-    def do_POST(self) -> None:  # noqa: N802 - stdlib handler naming
-        path = urlsplit(self.path).path.rstrip("/")
-        try:
-            raw = self._drain_body()
-        except ServiceError as error:
-            self._send_json(400, _transport_error("service", str(error)))
-            return
-        if path in ("/v2/health", "/v2/catalog"):
-            self._send_json(
-                405, _transport_error("method", f"{path} only accepts GET")
-            )
-            return
-        if path == "/v2/batch":
-            self._route_batch(raw)
-            return
-        if path.removeprefix("/v2/") in REQUEST_ENDPOINTS and path.startswith("/v2/"):
-            self._route_request(path, raw)
-            return
-        self._send_json(
-            404, _transport_error("not_found", f"unknown endpoint {path!r}")
-        )
-
-    # -- routing ---------------------------------------------------------------
+    def _serve_catalog(self) -> None:
+        self._forward_and_relay("/v2/catalog", None, "GET", 0)
 
     def _forward_and_relay(
         self, path: str, body: Optional[bytes], method: str, slot: int
@@ -125,17 +95,37 @@ class _RouterHandler(_JSONRequestHandler):
             return
         self._send_raw(status, relayed, "application/json; charset=utf-8")
 
-    def _route_request(self, path: str, raw: bytes) -> None:
+    def _serve_kind(self, kind: str, path: str, raw: bytes) -> None:
         """Forward one per-kind request to its fingerprint-routed worker.
 
         The body is parsed only to *extract references* — it is forwarded
         verbatim, so worker responses (including validation errors for
-        malformed bodies) are byte-identical to single-process serving.
+        malformed bodies) match single-process serving; the only router
+        addition is ``timings.route_ms`` stamped into a relayed envelope.
         """
         slot = self.server.slot_for_body(raw)
-        self._forward_and_relay(path, raw, "POST", slot)
+        started = time.perf_counter()
+        try:
+            status, relayed = self.server.forward(path, raw, "POST", slot)
+        except ServiceError as error:
+            self._send_json(503, _transport_error("unavailable", str(error)))
+            return
+        route_ms = (time.perf_counter() - started) * 1000.0
+        self.server.obs.request(
+            "route",
+            route_ms,
+            trace_id=current_trace_id(),
+            kind=kind,
+            slot=slot,
+            status=status,
+        )
+        self._send_raw(
+            status,
+            self.server.annotate_envelope(relayed, route_ms),
+            "application/json; charset=utf-8",
+        )
 
-    def _route_batch(self, raw: bytes) -> None:
+    def _serve_batch(self, raw: bytes) -> None:
         """Split a batch by routing slot, fan out, reassemble in input order."""
         try:
             document = json.loads(raw) if raw else None
@@ -205,10 +195,14 @@ class ShardRouter(V2ServerBase):
         (covers the pool's restart backoff for a single-worker fleet) before
         the router answers 503 itself.
     verbose:
-        Re-enable per-request stderr log lines.
+        Emit a structured JSON log event for every request (stderr).
+    slow_ms:
+        Emit the structured event (marked ``"slow": true``) for any request
+        at or above this many milliseconds, even without ``verbose``.
     """
 
     thread_name = "fairank-router"
+    metrics_prefix = "fairank_router"
 
     def __init__(
         self,
@@ -220,13 +214,14 @@ class ShardRouter(V2ServerBase):
         forward_timeout_s: float = 300.0,
         retry_window_s: float = 30.0,
         verbose: bool = False,
+        slow_ms: Optional[float] = None,
     ) -> None:
         super().__init__(host, port, _RouterHandler)
         self.pool = pool
         self.fingerprints: FingerprintIndex = dict(fingerprints or {})
         self.forward_timeout_s = forward_timeout_s
         self.retry_window_s = retry_window_s
-        self.verbose = verbose
+        self.configure_observability(verbose=verbose, slow_ms=slow_ms)
         self._retried_forwards = 0
 
     # -- routing / forwarding --------------------------------------------------
@@ -250,12 +245,17 @@ class ShardRouter(V2ServerBase):
         method: str,
         timeout_s: Optional[float] = None,
     ) -> Tuple[int, bytes]:
-        """One HTTP exchange with one worker (no retry)."""
+        """One HTTP exchange with one worker (no retry).
+
+        The active trace id (if any) travels on ``X-Fairank-Trace`` so the
+        worker joins the router's trace instead of opening its own.
+        """
+        headers = {} if body is None else {"Content-Type": "application/json"}
+        trace_id = current_trace_id()
+        if trace_id is not None:
+            headers[TRACE_HEADER] = trace_id
         request = urllib.request.Request(
-            f"{worker.base_url}{path}",
-            data=body,
-            headers={} if body is None else {"Content-Type": "application/json"},
-            method=method,
+            f"{worker.base_url}{path}", data=body, headers=headers, method=method
         )
         try:
             with urllib.request.urlopen(
@@ -289,16 +289,55 @@ class ShardRouter(V2ServerBase):
                     failures += 1
                     with self._stats_lock:
                         self._retried_forwards += 1
+                    get_registry().counter(
+                        "fairank_router_retried_forwards_total",
+                        "Forwards retried after a worker transport failure",
+                    ).inc(slot=str(worker.slot))
+                    self.obs.event(
+                        "forward_retry",
+                        path=path,
+                        slot=worker.slot,
+                        failures=failures,
+                        trace_id=current_trace_id(),
+                    )
                     self.pool.report_failure(worker)
                     continue
                 return status, relayed
             if time.monotonic() >= deadline:
+                self.obs.event(
+                    "forward_unavailable",
+                    path=path,
+                    failures=failures,
+                    trace_id=current_trace_id(),
+                )
                 raise ServiceError(
                     f"no worker answered {method} {path} within "
                     f"{self.retry_window_s:.0f}s ({failures} failed forward(s), "
                     f"{self.pool.alive_count}/{self.pool.size} workers alive)"
                 )
             time.sleep(0.05)
+
+    @staticmethod
+    def annotate_envelope(relayed: bytes, route_ms: float) -> bytes:
+        """Stamp the router's forwarding time into a relayed result envelope.
+
+        Anything that does not parse as a protocol-v2 envelope (transport
+        error payloads, malformed-body rejections) passes through verbatim.
+        ``timings`` is outside the canonical response surface, so the
+        re-serialisation keeps relayed responses byte-comparable to
+        single-process serving where it matters.
+        """
+        try:
+            payload = json.loads(relayed)
+        except ValueError:
+            return relayed
+        if not isinstance(payload, dict) or "kind" not in payload:
+            return relayed
+        timings = payload.get("timings")
+        timings = dict(timings) if isinstance(timings, dict) else {}
+        timings["route_ms"] = round(route_ms, 3)
+        payload["timings"] = timings
+        return json.dumps(payload).encode("utf-8")
 
     def unavailable_envelope(self, entry: object) -> Dict[str, object]:
         """A protocol-v2 error envelope for a batch slot no worker served."""
@@ -317,6 +356,58 @@ class ShardRouter(V2ServerBase):
             },
         }
 
+    # -- observability ---------------------------------------------------------
+
+    def _refresh_gauges(self, registry: MetricsRegistry) -> None:
+        """Fleet gauges: live workers plus per-slot restart counts by reason."""
+        super()._refresh_gauges(registry)
+        registry.gauge(
+            "fairank_router_workers_alive", "Workers currently answering"
+        ).set(float(self.pool.alive_count))
+        registry.gauge(
+            "fairank_router_workers_total", "Configured worker slots"
+        ).set(float(self.pool.size))
+        restarts = registry.gauge(
+            "fairank_router_worker_restarts", "Completed worker restarts by slot"
+        )
+        for slot in range(self.pool.size):
+            restarts.set(float(self.pool.restarts(slot)), slot=str(slot))
+
+    def metrics_text(self) -> str:
+        """One Prometheus page for the whole fleet.
+
+        The router's own families are namespaced ``fairank_router_*`` (plus
+        the pool's ``fairank_worker_*`` lifecycle counters, which no worker
+        emits), so merging them with the workers' pages cannot collide;
+        identical series across workers (same family, same labels) sum,
+        which is exactly the fleet-wide reading a scraper wants.  A worker
+        that cannot be scraped (mid-restart) is skipped rather than failing
+        the page.
+        """
+        registry = get_registry()
+        self._refresh_gauges(registry)
+        pages = [parse_prometheus(registry.render())]
+
+        def scrape(slot: int) -> Optional[ParsedMetrics]:
+            handle = self.pool.peek(slot)
+            if handle is None:
+                return None
+            try:
+                status, body = self._send(
+                    handle, "/v2/metrics", None, "GET", timeout_s=5.0
+                )
+                if status != 200:
+                    return None
+                return parse_prometheus(body.decode("utf-8"))
+            except (*_TRANSPORT_FAILURES, ValueError):
+                return None
+
+        with ThreadPoolExecutor(max_workers=self.pool.size) as scrapes:
+            pages.extend(
+                page for page in scrapes.map(scrape, range(self.pool.size)) if page
+            )
+        return render_parsed(merge_parsed(pages))
+
     # -- health ----------------------------------------------------------------
 
     def health(self) -> Dict[str, object]:
@@ -334,6 +425,7 @@ class ShardRouter(V2ServerBase):
                 "slot": slot,
                 "alive": False,
                 "restarts": self.pool.restarts(slot),
+                "restart_reasons": self.pool.restart_reasons(slot),
             }
             if handle is None:
                 return entry
@@ -384,7 +476,8 @@ class ShardRouter(V2ServerBase):
             "uptime_s": self.uptime_s,
             "requests_served": self.requests_served,
             "retried_forwards": retried,
-            "endpoints": list(REQUEST_ENDPOINTS) + ["batch", "catalog", "health"],
+            "endpoints": list(REQUEST_ENDPOINTS)
+            + ["batch", "catalog", "health", "metrics"],
             "routing": {
                 "strategy": "resource-fingerprint",
                 "fingerprints": len(self.fingerprints),

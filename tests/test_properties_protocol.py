@@ -234,6 +234,7 @@ def service_results(draw):
         cached=draw(st.booleans()),
         elapsed_s=draw(st.floats(min_value=0, max_value=100, allow_nan=False)),
         store_stats=draw(st.none() | json_payloads),
+        timings=draw(st.none() | json_payloads),
         error=(
             {"code": draw(names), "message": draw(names)} if failed else None
         ),

@@ -108,6 +108,15 @@ class TestRoundTrips:
         assert first == second
         assert first.weight_maps == ({"a": 0.5, "b": 0.5},)
 
+    def test_sweep_rejects_bare_number_weight_vectors(self):
+        # A vector must map attribute names to weights; a bare list of
+        # numbers must surface as a structured error, not a TypeError.
+        with pytest.raises(ServiceError, match="weight vector"):
+            request_from_json(
+                {"kind": "sweep", "dataset": "d", "function": "f",
+                 "weights": [[0.5, 0.5]]}
+            )
+
     def test_end_user_group_normalises_key_order(self):
         first = EndUserRequest(group={"A": 1, "B": 2}, marketplaces=("m",), job="J")
         second = EndUserRequest(group={"B": 2, "A": 1}, marketplaces=("m",), job="J")

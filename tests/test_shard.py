@@ -363,9 +363,15 @@ class TestFailureRecovery:
         assert pool.restarts(slot) > restarts_before, "slot was never restarted"
         assert pool.alive_count == pool.size
 
-        # The restarted worker serves the same snapshot: parity holds again.
+        # The crash is accounted with its reason, in the pool and in the
+        # aggregated health payload.
+        assert pool.restart_reasons(slot)["crash"] >= 1
         health = client.health()
         assert health["status"] == "ok"
+        slot_health = health["workers"]["health"][slot]
+        assert slot_health["restart_reasons"]["crash"] >= 1
+
+        # The restarted worker serves the same snapshot: parity holds again.
         assert client.quantify("table1", "table1-f").canonical() == expected["table1-f"]
 
     def test_stale_handle_reports_are_ignored(self, fleet):
@@ -405,6 +411,100 @@ class TestFailureRecovery:
         while time.monotonic() < deadline and replacement.poll() is None:
             time.sleep(0.05)
         assert replacement.poll() is not None, "stop() orphaned the mid-boot worker"
+
+
+class TestTracePropagation:
+    """One trace id must span client -> router -> worker, observably."""
+
+    def test_trace_id_spans_a_three_worker_fleet(self, snapshot):
+        from io import StringIO
+
+        from repro.obs.log import ObsLogger
+        from repro.obs.trace import Trace, activate
+
+        pool = WorkerPool(
+            snapshot, 3, backoff_base_s=0.1, backoff_max_s=1.0,
+            worker_arguments=["--verbose"],
+        )
+        pool.start()
+        router = ShardRouter(pool, fingerprints=snapshot_fingerprints(snapshot))
+        captured = StringIO()
+        router.obs = ObsLogger(captured, verbose=True)
+        router.serve_in_background()
+        try:
+            client = HTTPFairnessClient(router.base_url, timeout=120.0)
+            pinned = Trace("trace-propagation-e2e")
+            with activate(pinned):
+                result = client.quantify("table1", "table1-f")
+
+            # 1. The envelope's timing breakdown carries the pinned id plus
+            #    worker-side phases and the router's forwarding time.
+            timings = result.timings
+            assert timings["trace_id"] == "trace-propagation-e2e"
+            assert "total_ms" in timings
+            assert "route_ms" in timings
+
+            # 2. The router logged structured events under the same id.
+            deadline = time.monotonic() + 10
+            router_events = []
+            while time.monotonic() < deadline:
+                router_events = [
+                    json.loads(line)
+                    for line in captured.getvalue().splitlines()
+                ]
+                if any(
+                    event.get("trace_id") == "trace-propagation-e2e"
+                    for event in router_events
+                ):
+                    break
+                time.sleep(0.05)
+            traced = [
+                event for event in router_events
+                if event.get("trace_id") == "trace-propagation-e2e"
+            ]
+            assert traced, router_events
+            assert any(event["event"] == "route" for event in traced)
+
+            # 3. The worker that served it logged the id too (its stderr is
+            #    merged into the stdout tail the pool pumps), attributed to
+            #    its slot via FAIRANK_WORKER_SLOT.
+            worker_line = None
+            deadline = time.monotonic() + 10
+            while worker_line is None and time.monotonic() < deadline:
+                for slot in range(pool.size):
+                    handle = pool.peek(slot)
+                    if handle is None:
+                        continue
+                    for line in list(handle.pump.tail):
+                        if (
+                            "trace-propagation-e2e" in line
+                            and '"event":"http_request"' in line
+                        ):
+                            worker_line = json.loads(line)
+                if worker_line is None:
+                    time.sleep(0.05)
+            assert worker_line is not None
+            assert worker_line["trace_id"] == "trace-propagation-e2e"
+            assert worker_line["path"] == "/v2/quantify"
+            assert worker_line["worker"] in {"0", "1", "2"}
+        finally:
+            router.shutdown()
+            router.server_close()
+            pool.stop()
+
+    def test_router_metrics_aggregate_the_fleet(self, fleet):
+        from repro.obs.metrics import parse_prometheus
+
+        pool, router, client = fleet
+        client.quantify("table1", "table1-f")
+        page = parse_prometheus(router.metrics_text())
+        # Worker-side service counters and router-side ingress counters
+        # land on one page without colliding.
+        executed = page.sum_by_label("fairank_requests_total", "kind")
+        assert executed.get("quantify", 0) >= 1
+        assert page.value("fairank_router_workers_total") == pool.size
+        assert page.value("fairank_router_workers_alive") >= 1
+        assert page.types["fairank_request_seconds"] == "histogram"
 
 
 REPO_SRC = str(Path(__file__).resolve().parent.parent / "src")
