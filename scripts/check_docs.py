@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""CI gate for the docs tree: links must resolve, flags must exist.
+
+Two checks over ``docs/*.md`` (plus ``README.md`` for links):
+
+* **links** — every internal markdown link ``[text](target)`` must point
+  at a file that exists, resolved relative to the file containing the
+  link (external ``http(s)://`` / ``mailto:`` targets are skipped, and a
+  ``#fragment`` suffix is ignored);
+* **flags** — every ``--flag`` token named in ``docs/*.md`` must exist in
+  the ``fairank`` CLI parser (:func:`repro.cli.build_parser`, walked
+  recursively through its subcommands), so documentation can never name
+  an option the binary does not accept.
+
+Exit status 0 when clean, 1 with one line per problem otherwise.  Run it
+from the repository root (CI does), or pass ``--root``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+from typing import List, Set
+
+#: ``[text](target)`` — target captured without any ``#fragment`` suffix.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)#\s]+)(?:#[^)]*)?\)")
+
+#: A long-option token: ``--workers``, ``--slow-ms``, ... (word-bounded so
+#: YAML comments or ``a--b`` text cannot produce false positives).
+_FLAG = re.compile(r"(?<![\w-])--[a-z][a-z0-9-]*")
+
+_EXTERNAL_PREFIXES = ("http://", "https://", "mailto:")
+
+
+def _parser_flags() -> Set[str]:
+    """Every long option the ``fairank`` parser (or a subcommand) accepts."""
+    from repro.cli import build_parser
+
+    flags: Set[str] = set()
+    pending = [build_parser()]
+    while pending:
+        parser = pending.pop()
+        for action in parser._actions:  # noqa: SLF001 - argparse has no public walk
+            flags.update(s for s in action.option_strings if s.startswith("--"))
+            if isinstance(action, argparse._SubParsersAction):  # noqa: SLF001
+                pending.extend(action.choices.values())
+    return flags
+
+
+def check_links(markdown_files: List[Path]) -> List[str]:
+    problems = []
+    for path in markdown_files:
+        for target in _LINK.findall(path.read_text(encoding="utf-8")):
+            if target.startswith(_EXTERNAL_PREFIXES):
+                continue
+            resolved = (path.parent / target).resolve()
+            if not resolved.exists():
+                problems.append(f"{path}: broken link -> {target}")
+    return problems
+
+
+def check_flags(doc_files: List[Path]) -> List[str]:
+    known = _parser_flags()
+    problems = []
+    for path in doc_files:
+        for flag in sorted(set(_FLAG.findall(path.read_text(encoding="utf-8")))):
+            if flag not in known:
+                problems.append(
+                    f"{path}: documents flag {flag} which no fairank "
+                    "subcommand accepts"
+                )
+    return problems
+
+
+def main(argv: List[str]) -> int:
+    arguments = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    arguments.add_argument(
+        "--root", default=".", help="repository root (default: cwd)"
+    )
+    options = arguments.parse_args(argv)
+    root = Path(options.root).resolve()
+
+    doc_files = sorted((root / "docs").glob("*.md"))
+    if not doc_files:
+        print(f"no docs/*.md files under {root}", file=sys.stderr)
+        return 1
+    link_files = list(doc_files)
+    readme = root / "README.md"
+    if readme.exists():
+        link_files.append(readme)
+
+    problems = check_links(link_files) + check_flags(doc_files)
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        print(f"docs check: {len(problems)} problem(s)", file=sys.stderr)
+        return 1
+    flag_count = sum(
+        len(set(_FLAG.findall(path.read_text(encoding="utf-8"))))
+        for path in doc_files
+    )
+    print(
+        f"docs check OK: {len(link_files)} file(s), links resolve, "
+        f"{flag_count} documented flag reference(s) exist in the CLI"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -37,7 +37,7 @@ import threading
 from dataclasses import dataclass, field, replace as dataclass_replace
 from enum import Enum
 from pathlib import Path
-from typing import Dict, Iterator, List, Mapping, Optional, Tuple, Union
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.errors import CatalogError
 
@@ -335,6 +335,7 @@ class Catalog:
         path: Union[str, Path],
         *,
         dataset_sources: Optional[Mapping[str, Mapping[str, object]]] = None,
+        columnar_datasets: Union[bool, Sequence[str], None] = None,
     ) -> Dict[str, object]:
         """Write this catalogue to a JSON snapshot file (see :mod:`repro.snapshot`).
 
@@ -342,11 +343,21 @@ class Catalog:
         reference for them; scoring functions are saved by their weights,
         marketplaces by workers + jobs, formulations by name.  Returns the
         snapshot document that was written.
+
+        ``columnar_datasets`` (a list of dataset names, or ``True`` for all)
+        persists those datasets as raw column files under
+        ``<path>.columns/<fingerprint>/`` instead of embedded JSON rows;
+        :meth:`load` re-opens them as read-only memory maps.
         """
         from repro.snapshot import save_catalog
 
         with self._lock:
-            return save_catalog(self, path, dataset_sources=dataset_sources)
+            return save_catalog(
+                self,
+                path,
+                dataset_sources=dataset_sources,
+                columnar_datasets=columnar_datasets,
+            )
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "Catalog":

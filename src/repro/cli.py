@@ -142,6 +142,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--save", default=None, metavar="PATH",
         help="write this registry to a catalog snapshot JSON file "
              "(bootable via 'fairank serve --catalog PATH')")
+    catalog_parser.add_argument(
+        "--columnar", action="store_true",
+        help="with --save: persist every dataset as raw column files under "
+             "PATH.columns/<fingerprint>/ instead of embedded JSON rows; "
+             "'fairank serve --catalog PATH' then memory-maps the arrays "
+             "(recommended beyond ~100k rows)")
     _add_registry_arguments(catalog_parser)
 
     # -- serve ------------------------------------------------------------------
@@ -419,8 +425,12 @@ def _cmd_catalog(args: argparse.Namespace) -> int:
             print("every request resolves against this registry")
 
     if args.save:
-        service.catalog.save(args.save)
+        service.catalog.save(
+            args.save, columnar_datasets=True if args.columnar else None
+        )
         print(f"\ncatalog snapshot written to {args.save}")
+        if args.columnar:
+            print(f"column sidecars written to {args.save}.columns/")
     return 0
 
 

@@ -45,7 +45,6 @@ import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple
-from weakref import WeakKeyDictionary
 
 import numpy as np
 
@@ -64,12 +63,6 @@ __all__ = ["ScoreStore", "ScoreStoreStats"]
 #: 10k-row population touches a couple of thousand candidate partitions; the
 #: default leaves headroom while keeping a long-lived service store bounded.
 DEFAULT_MAX_PARTITIONS = 8192
-
-#: Process-wide integer codings of protected columns, shared by every store
-#: over the same dataset object (codes are function-independent).  Weakly
-#: keyed so a dropped dataset releases its codes.
-_dataset_codes: "WeakKeyDictionary[Dataset, Dict[str, tuple]]" = WeakKeyDictionary()
-_dataset_codes_lock = threading.Lock()
 
 
 @dataclass(frozen=True)
@@ -125,24 +118,25 @@ class _SlicedDataset(Dataset):
     length (all a losing candidate split ever needs) is known immediately,
     while the actual row tuple is only built when a consumer — the final
     partitioning's validation, a renderer, a fallback scorer — iterates it.
+    Holding the *base dataset* (not its row tuple) keeps the laziness
+    transitive: slicing a column-backed base never forces it to materialise
+    rows until a consumer iterates the slice itself.
     """
 
-    def __init__(
-        self, base: Dataset, rows: Tuple[Individual, ...], indices: np.ndarray, name: str
-    ) -> None:
+    def __init__(self, base: Dataset, indices: np.ndarray, name: str) -> None:
         # Deliberately does not call Dataset.__init__: rows are already
         # validated (they are the base dataset's own), and materialising the
         # member tuple is deferred until something iterates it.
         self.schema = base.schema
         self.name = name
-        self._base_rows = rows
+        self._base = base
         self._slice_indices = indices
 
     @property
     def _individuals(self) -> Tuple[Individual, ...]:  # type: ignore[override]
         materialized = self.__dict__.get("_materialized")
         if materialized is None:
-            rows = self._base_rows
+            rows = self._base.individuals
             materialized = tuple(rows[index] for index in self._slice_indices.tolist())
             self.__dict__["_materialized"] = materialized
         return materialized
@@ -219,7 +213,6 @@ class ScoreStore:
         self._lock = threading.RLock()
         self._vector: Optional[np.ndarray] = None
         self._row_index: Optional[Dict[str, int]] = None
-        self._rows: Tuple[Individual, ...] = dataset.individuals
         self._partitions: "OrderedDict[object, _Entry]" = OrderedDict()
         # attribute name -> (per-row codes, code -> value, value -> code,
         # code -> member-dataset name suffix); see _attribute_codes.
@@ -293,14 +286,18 @@ class ScoreStore:
             return self._vector
 
     def _row_index_map(self) -> Dict[str, int]:
-        """uid -> row position, built lazily (only uid-mapped partitions need it)."""
+        """uid -> row position, built lazily (only uid-mapped partitions need it).
+
+        Built from ``dataset.uids``, which a column-backed dataset serves
+        without materialising rows.
+        """
         index = self._row_index
         if index is not None:
             return index
         with self._lock:
             if self._row_index is None:
                 self._row_index = {
-                    individual.uid: position for position, individual in enumerate(self._rows)
+                    uid: position for position, uid in enumerate(self.dataset.uids)
                 }
             return self._row_index
 
@@ -310,17 +307,20 @@ class ScoreStore:
 
     def _indices_for_members(self, members: Dataset) -> Optional[np.ndarray]:
         if members is self.dataset:
-            return np.arange(len(self._rows), dtype=np.intp)
-        if isinstance(members, _SlicedDataset) and members._base_rows is self._rows:
+            return np.arange(len(self.dataset), dtype=np.intp)
+        if isinstance(members, _SlicedDataset) and members._base is self.dataset:
             return members._slice_indices
         row_index = self._row_index_map()
-        rows = self._rows
+        # Identity verification (trust_uids=False) needs the actual row
+        # objects; trusted stores map by uid alone, so a column-backed
+        # dataset stays unmaterialised.
+        rows = None if self.trust_uids else self.dataset.individuals
         indices = np.empty(len(members), dtype=np.intp)
         for position, member in enumerate(members):
             index = row_index.get(member.uid)
             if index is None:
                 return None
-            if not self.trust_uids and rows[index] is not member:
+            if rows is not None and rows[index] is not member:
                 return None
             indices[position] = index
         return indices
@@ -483,7 +483,7 @@ class ScoreStore:
             code = encode[value]
             child_indices = indices[sub == code]
             members = _SlicedDataset(
-                self.dataset, self._rows, child_indices, name=base_name + suffixes[code]
+                self.dataset, child_indices, name=base_name + suffixes[code]
             )
             # Fast construction: the dataclass __init__/__post_init__ only
             # normalises and validates the constraints, which hold here by
@@ -516,39 +516,24 @@ class ScoreStore:
     def _attribute_codes(
         self, name: str
     ) -> Tuple[np.ndarray, Tuple[object, ...], Dict[object, int], Tuple[str, ...]]:
-        """Integer-coded column for ``name`` (one Python pass per attribute).
+        """Integer-coded column for ``name``, served by the dataset itself.
 
         Returns ``(per-row codes, code -> value, value -> code, code ->
         member-dataset name suffix)``; entries are immutable once published,
-        so the fast path reads without the lock.  Codes depend only on the
-        dataset — not the scoring function — so they are shared across all
-        stores over the same dataset object via a process-wide weak cache
-        (an audit fanning out over many functions codes each column once).
+        so the fast path reads without the lock.  The coding lives on
+        :meth:`Dataset.codes` now — a column-backed dataset already *stores*
+        its protected attributes as integer codes, so this is a zero-copy
+        read; a row-primary dataset computes and caches the coding once,
+        shared across every store over the same dataset object (an audit
+        fanning out over many functions codes each column once).
         """
         cached = self._codes.get(name)
         if cached is not None:
             return cached
-        with _dataset_codes_lock:
-            shared = _dataset_codes.setdefault(self.dataset, {})
-            cached = shared.get(name)
-        if cached is None:
-            self.dataset.schema.attribute(name)
-            encode: Dict[object, int] = {}
-            codes = np.empty(len(self._rows), dtype=np.int64)
-            encode_get = encode.get
-            for position, individual in enumerate(self._rows):
-                value = individual.values[name]
-                code = encode_get(value)
-                if code is None:
-                    code = len(encode)
-                    encode[value] = code
-                codes[position] = code
-            codes.setflags(write=False)
-            # The same "/(value,)" suffix Dataset.group_by gives a group's name.
-            suffixes = tuple(f"/{(value,)}" for value in encode)
-            cached = (codes, tuple(encode), encode, suffixes)
-            with _dataset_codes_lock:
-                cached = shared.setdefault(name, cached)
+        codes, decode, encode = self.dataset.codes(name)
+        # The same "/(value,)" suffix Dataset.group_by gives a group's name.
+        suffixes = tuple(f"/{(value,)}" for value in decode)
+        cached = (codes, decode, encode, suffixes)
         with self._lock:
             return self._codes.setdefault(name, cached)
 
@@ -606,8 +591,8 @@ class ScoreStore:
         if indices is None:
             return entry.owner is members
         if members is self.dataset:
-            return indices.size == len(self._rows)
-        if isinstance(members, _SlicedDataset) and members._base_rows is self._rows:
+            return indices.size == len(self.dataset)
+        if isinstance(members, _SlicedDataset) and members._base is self.dataset:
             own = members._slice_indices
             return own is indices or bool(np.array_equal(own, indices))
         if len(members) != indices.size:

@@ -1,26 +1,47 @@
-"""In-memory tabular store of individuals (workers) for FaiRank.
+"""Tabular store of individuals (workers) for FaiRank — row- or column-backed.
 
 The :class:`Dataset` is the substrate every other subsystem consumes: the
 scoring functions read observed attribute columns from it, the partitioning
 algorithms group its rows by protected-attribute values, the anonymiser
 rewrites its protected columns, and the marketplace generator produces it.
 
-It is deliberately a small, dependency-light columnar store (lists/ numpy
-arrays keyed by attribute name) rather than a pandas DataFrame so that the
-library has a single, explicit data contract.
+Two backings share one contract:
+
+* **row-primary** datasets (the classic construction: ``Dataset(schema,
+  individuals)``) hold a tuple of :class:`Individual` objects and behave
+  exactly as they always have;
+* **column-primary** datasets (:meth:`Dataset.from_store`) hold a
+  :class:`~repro.data.columns.ColumnStore` of contiguous numpy arrays —
+  integer-coded protected attributes, ``float64`` observed attributes,
+  optionally memory-mapped from disk — and materialise :class:`Individual`
+  rows *lazily*, only if something actually iterates them.  Column access
+  (:meth:`column`, :meth:`numeric_column`, :meth:`observed_matrix`,
+  :meth:`codes`, :meth:`value_counts`, :meth:`distinct_values`) is served
+  straight from the arrays, so the scoring and partitioning hot paths never
+  touch per-row dicts.
+
+Both backings produce identical values, identical orderings and identical
+content fingerprints, so every downstream result is byte-identical whichever
+backing a population arrived on.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.data.columns import CodedColumn, ColumnStore, ColumnStoreBuilder, NumericColumn
 from repro.data.schema import Attribute, AttributeType, Schema
 from repro.errors import DataError, EmptyDatasetError, UnknownAttributeError
 
 __all__ = ["Individual", "Dataset", "order_values"]
+
+#: Guards per-dataset lazy caches (integer codings, materialised rows) so
+#: concurrent readers (the service batch executor) never duplicate work.
+_codes_lock = threading.Lock()
 
 
 def order_values(attr: Attribute, present: Iterable[object]) -> Tuple[object, ...]:
@@ -42,7 +63,10 @@ class Individual:
     """A single individual (worker) with an identifier and attribute values.
 
     ``values`` maps attribute name to value.  Individuals are immutable; the
-    dataset is the unit of mutation (by producing new datasets).
+    dataset is the unit of mutation (by producing new datasets).  For a
+    column-backed dataset these objects are a *materialised view*: they are
+    built on first iteration from the decode tables and numeric arrays, and
+    carry exactly the values the columns hold.
     """
 
     uid: str
@@ -73,7 +97,22 @@ class Dataset:
     The dataset validates every row against the schema at construction time,
     and exposes column access, filtering, projection and group-by operations
     used throughout the library.
+
+    Columnar contract: a dataset built with :meth:`from_store` keeps the
+    population as contiguous per-attribute arrays (see
+    :mod:`repro.data.columns`) and serves :meth:`column`,
+    :meth:`numeric_column`, :meth:`observed_matrix`, :meth:`codes`,
+    :meth:`value_counts` and :meth:`distinct_values` directly from them —
+    no :class:`Individual` is ever created unless a consumer iterates rows,
+    at which point they materialise once and are cached.  Row-primary
+    datasets behave exactly as before; :meth:`codes` gives both backings the
+    same first-seen integer coding of any attribute column.
     """
+
+    #: Column backing; ``None`` for row-primary datasets.  A class attribute
+    #: so subclasses that bypass ``__init__`` (the score store's lazy slices)
+    #: still read a well-defined value.
+    _store: Optional[ColumnStore] = None
 
     def __init__(
         self,
@@ -84,7 +123,7 @@ class Dataset:
     ) -> None:
         self.schema = schema
         self.name = name
-        self._individuals: Tuple[Individual, ...] = tuple(individuals)
+        self.__dict__["_rows"] = tuple(individuals)
         if validate:
             self._validate()
 
@@ -124,7 +163,7 @@ class Dataset:
         name: str = "dataset",
         uids: Optional[Sequence[str]] = None,
     ) -> "Dataset":
-        """Build a dataset from column vectors keyed by attribute name."""
+        """Build a (row-primary) dataset from column vectors keyed by name."""
         if not columns:
             return cls(schema=schema, individuals=(), name=name)
         lengths = {len(values) for values in columns.values()}
@@ -140,6 +179,29 @@ class Dataset:
         ]
         individuals = [Individual(uid=str(uid), values=rec) for uid, rec in zip(uids, records)]
         return cls(schema=schema, individuals=individuals, name=name)
+
+    @classmethod
+    def from_store(
+        cls,
+        schema: Schema,
+        store: ColumnStore,
+        name: str = "dataset",
+        validate: bool = True,
+    ) -> "Dataset":
+        """Build a column-primary dataset over a :class:`ColumnStore`.
+
+        No :class:`Individual` objects are created — rows materialise lazily
+        on first iteration.  Validation is vectorised: coded columns validate
+        each *distinct* value once, numeric columns validate their declared
+        range in one array comparison, and uid uniqueness is a set check.
+        """
+        dataset = cls.__new__(cls)
+        dataset.schema = schema
+        dataset.name = name
+        dataset._store = store
+        if validate:
+            dataset._validate_store()
+        return dataset
 
     def _validate(self) -> None:
         seen_uids = set()
@@ -159,9 +221,131 @@ class Dataset:
                         f"for attribute {attr.name!r}"
                     )
 
+    def _validate_store(self) -> None:
+        """Vectorised validation of a column-backed dataset.
+
+        Checks the same contract as :meth:`_validate` — unique uids, every
+        schema attribute present, every value admissible — without building a
+        single row: O(distinct values) for coded columns, one vectorised
+        range comparison for numeric columns.
+        """
+        store = self._store
+        assert store is not None
+        uids = store.explicit_uids
+        if uids is not None and len(set(uids)) != len(uids):
+            seen = set()
+            for uid in uids:
+                if uid in seen:
+                    raise DataError(f"duplicate individual id {uid!r}")
+                seen.add(uid)
+        for attr in self.schema:
+            try:
+                column = store.column(attr.name)
+            except DataError:
+                raise DataError(
+                    f"dataset {self.name!r} has no column for attribute {attr.name!r}"
+                ) from None
+            if isinstance(column, CodedColumn):
+                for value in column.values:
+                    if not attr.validate_value(value):
+                        index = int(np.argmax(column.codes == column.values.index(value)))
+                        uid = store.uid_range(index, index + 1)[0]
+                        raise DataError(
+                            f"individual {uid!r} has invalid value {value!r} "
+                            f"for attribute {attr.name!r}"
+                        )
+            else:
+                if attr.atype is not AttributeType.NUMERIC:
+                    raise DataError(
+                        f"attribute {attr.name!r} is {attr.atype.value} but is backed "
+                        "by a numeric column"
+                    )
+                if attr.domain is not None and len(column):
+                    low, high = float(attr.domain[0]), float(attr.domain[1])
+                    values = column.values
+                    with np.errstate(invalid="ignore"):
+                        bad = ~((values >= low) & (values <= high))
+                    if bad.any():
+                        index = int(np.argmax(bad))
+                        uid = store.uid_range(index, index + 1)[0]
+                        raise DataError(
+                            f"individual {uid!r} has invalid value "
+                            f"{float(values[index])!r} for attribute {attr.name!r}"
+                        )
+
+    # -- backing -----------------------------------------------------------
+
+    @property
+    def store(self) -> Optional[ColumnStore]:
+        """The column backing, or ``None`` for a row-primary dataset."""
+        return self._store
+
+    def to_store(self) -> ColumnStore:
+        """Package this dataset's values as a :class:`ColumnStore`.
+
+        Column-backed datasets return their existing backing.  Row-primary
+        datasets are converted: a numeric attribute whose values are all
+        plain floats becomes a contiguous ``float64`` array, every other
+        attribute becomes an integer-coded column whose decode table keeps
+        the *exact* row values (ints stay ints, bools stay bools) — so a
+        dataset rebuilt from the store, e.g. after
+        :meth:`ColumnStore.save`/:meth:`ColumnStore.load`, has the same
+        content fingerprint as the original.
+        """
+        store = self._store
+        if store is not None:
+            return store
+        names = self.schema.names
+        columns = {name: self.column(name) for name in names}
+        coded: List[str] = []
+        numeric: List[str] = []
+        for attr in self.schema:
+            if attr.atype is AttributeType.NUMERIC and all(
+                type(value) is float for value in columns[attr.name]
+            ):
+                numeric.append(attr.name)
+            else:
+                coded.append(attr.name)
+        uids = self.uids
+        sequential = all(
+            uid == f"w{index + 1}" for index, uid in enumerate(uids)
+        )
+        builder = ColumnStoreBuilder(coded, numeric, collect_uids=not sequential)
+        builder.append_chunk(columns, uids=None if sequential else uids)
+        return builder.finish()
+
+    @property
+    def _individuals(self) -> Tuple[Individual, ...]:
+        """The row tuple, materialising it from the column store on demand."""
+        rows = self.__dict__.get("_rows")
+        if rows is None:
+            with _codes_lock:
+                rows = self.__dict__.get("_rows")
+                if rows is None:
+                    rows = self._materialize_rows()
+                    self.__dict__["_rows"] = rows
+        return rows
+
+    def _materialize_rows(self) -> Tuple[Individual, ...]:
+        store = self._store
+        assert store is not None
+        names = self.schema.names
+        decoded = {name: store.column(name).decode_range(0, store.n) for name in names}
+        uids = store.uids()
+        return tuple(
+            Individual(
+                uid=uids[index],
+                values={name: decoded[name][index] for name in names},
+            )
+            for index in range(store.n)
+        )
+
     # -- basic protocol ----------------------------------------------------
 
     def __len__(self) -> int:
+        store = self._store
+        if store is not None:
+            return store.n
         return len(self._individuals)
 
     def __iter__(self) -> Iterator[Individual]:
@@ -171,7 +355,7 @@ class Dataset:
         return self._individuals[index]
 
     def __bool__(self) -> bool:
-        return bool(self._individuals)
+        return len(self) > 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -182,10 +366,15 @@ class Dataset:
 
     @property
     def individuals(self) -> Tuple[Individual, ...]:
+        """All rows as :class:`Individual` objects (materialised if needed)."""
         return self._individuals
 
     @property
     def uids(self) -> Tuple[str, ...]:
+        """All row ids, in row order (column-backed: no rows materialised)."""
+        store = self._store
+        if store is not None:
+            return store.uids()
         return tuple(ind.uid for ind in self._individuals)
 
     def by_uid(self, uid: str) -> Individual:
@@ -195,35 +384,169 @@ class Dataset:
                 return individual
         raise DataError(f"no individual with id {uid!r} in dataset {self.name!r}")
 
+    def iter_rows(self, chunk_rows: int = 65536) -> Iterator[Tuple[str, List[object]]]:
+        """Yield ``(uid, [values in schema order])`` per row.
+
+        For a column-backed dataset this decodes ``chunk_rows`` rows at a
+        time and never materialises :class:`Individual` objects — it is the
+        streaming row walk content fingerprinting uses, so registering a
+        10M-row population holds one chunk of Python values at a time.
+        """
+        store = self._store
+        names = self.schema.names
+        if store is not None and self.__dict__.get("_rows") is None:
+            yield from store.iter_rows(names, chunk_rows=chunk_rows)
+            return
+        for individual in self._individuals:
+            values = individual.values
+            yield individual.uid, [values[name] for name in names]
+
     # -- column access -----------------------------------------------------
 
     def column(self, name: str) -> Tuple[object, ...]:
-        """Return the values of attribute ``name`` for all individuals, in order."""
+        """Return the values of attribute ``name`` for all individuals, in order.
+
+        Column-backed datasets decode straight from the arrays; row-primary
+        datasets walk their rows.  Identical values either way.
+        """
         self.schema.attribute(name)
+        store = self._store
+        if store is not None:
+            return tuple(store.column(name).decode_range(0, store.n))
         return tuple(ind.values[name] for ind in self._individuals)
 
     def numeric_column(self, name: str) -> np.ndarray:
-        """Return a float array of an observed (numeric) attribute column."""
+        """Return a fresh float array of an observed (numeric) attribute column.
+
+        Column-backed datasets copy the contiguous ``float64`` array (no
+        per-row ``float()`` calls); the copy keeps the classic contract that
+        callers may mutate the result without corrupting the dataset.
+        """
         attr = self.schema.attribute(name)
         if attr.atype is not AttributeType.NUMERIC:
             raise DataError(f"attribute {name!r} is not numeric")
+        store = self._store
+        if store is not None:
+            column = store.column(name)
+            if isinstance(column, NumericColumn):
+                return np.array(column.values, dtype=float)
+            return np.asarray(
+                [float(v) for v in column.decode_range(0, store.n)], dtype=float
+            )
         return np.asarray([float(ind.values[name]) for ind in self._individuals], dtype=float)
 
+    def codes(self, name: str) -> Tuple[np.ndarray, Tuple[object, ...], Dict[object, int]]:
+        """Integer coding of attribute ``name``: ``(codes, decode, encode)``.
+
+        ``codes`` is a read-only ``int64`` array of per-row codes, ``decode``
+        maps code -> value and ``encode`` value -> code, in first-seen row
+        order.  This is the coding the score store's index-based splits
+        consume; a column-backed dataset serves it straight from its coded
+        arrays (zero per-row work), a row-primary dataset computes and caches
+        it once per attribute.
+        """
+        cache: Dict[str, Tuple[np.ndarray, Tuple[object, ...], Dict[object, int]]]
+        cache = self.__dict__.setdefault("_codes_cache", {})
+        cached = cache.get(name)
+        if cached is not None:
+            return cached
+        self.schema.attribute(name)
+        store = self._store
+        if store is not None:
+            result = self._codes_from_store(store, name)
+        else:
+            rows = self._individuals
+            encode: Dict[object, int] = {}
+            codes = np.empty(len(rows), dtype=np.int64)
+            encode_get = encode.get
+            for position, individual in enumerate(rows):
+                value = individual.values[name]
+                code = encode_get(value)
+                if code is None:
+                    code = len(encode)
+                    encode[value] = code
+                codes[position] = code
+            codes.setflags(write=False)
+            result = (codes, tuple(encode), encode)
+        with _codes_lock:
+            return cache.setdefault(name, result)
+
+    def _codes_from_store(
+        self, store: ColumnStore, name: str
+    ) -> Tuple[np.ndarray, Tuple[object, ...], Dict[object, int]]:
+        column = store.column(name)
+        if isinstance(column, CodedColumn):
+            decode = column.values
+            encode: Dict[object, int] = {}
+            for code, value in enumerate(decode):
+                encode.setdefault(value, code)
+            if len(encode) == len(decode):
+                return (column.codes, decode, encode)
+            # The decode table distinguishes equal-under-`==` values (1 vs
+            # 1.0); splits must not, to match the row-primary coding exactly.
+            collapsed: Dict[object, int] = {}
+            for value in decode:
+                collapsed.setdefault(value, len(collapsed))
+            remap = np.asarray([collapsed[value] for value in decode], dtype=np.int64)
+            codes = remap[np.asarray(column.codes)]
+            codes.setflags(write=False)
+            return (codes, tuple(collapsed), collapsed)
+        # Numeric backing: first-seen coding computed vectorised.
+        values = np.asarray(column.values)
+        uniques, first_pos, inverse = np.unique(
+            values, return_index=True, return_inverse=True
+        )
+        order = np.argsort(first_pos, kind="stable")
+        rank = np.empty(len(order), dtype=np.int64)
+        rank[order] = np.arange(len(order), dtype=np.int64)
+        codes = rank[inverse]
+        codes.setflags(write=False)
+        decode_list = [float(uniques[index]) for index in order]
+        encode = {value: code for code, value in enumerate(decode_list)}
+        return (codes, tuple(decode_list), encode)
+
     def value_counts(self, name: str) -> Dict[object, int]:
-        """Return a value -> count mapping for attribute ``name``."""
-        counts: Dict[object, int] = {}
+        """Return a value -> count mapping for attribute ``name``.
+
+        Keys are emitted in first-seen row order (for a coded column, the
+        decode-table order — identical by construction).
+        """
+        store = self._store
+        if store is not None:
+            column = store.column(name)
+            if isinstance(column, CodedColumn):
+                self.schema.attribute(name)
+                counts = np.bincount(column.codes, minlength=len(column.values))
+                return {
+                    value: int(counts[code])
+                    for code, value in enumerate(column.values)
+                    if counts[code]
+                }
+        counts_dict: Dict[object, int] = {}
         for value in self.column(name):
-            counts[value] = counts.get(value, 0) + 1
-        return counts
+            counts_dict[value] = counts_dict.get(value, 0) + 1
+        return counts_dict
 
     def distinct_values(self, name: str) -> Tuple[object, ...]:
         """Distinct values of attribute ``name``.
 
         Uses the declared domain order when available; otherwise values are
         returned in a stable sorted order (by string representation for mixed
-        types) so downstream algorithms are deterministic.
+        types) so downstream algorithms are deterministic.  Column-backed
+        datasets order the decode table instead of walking rows.
         """
         attr = self.schema.attribute(name)
+        store = self._store
+        if store is not None:
+            column = store.column(name)
+            if isinstance(column, CodedColumn):
+                present_codes = set(np.unique(column.codes).tolist())
+                present = {
+                    value
+                    for code, value in enumerate(column.values)
+                    if code in present_codes
+                }
+                return order_values(attr, present)
         return order_values(attr, self.column(name))
 
     # -- relational-ish operations ------------------------------------------
@@ -320,7 +643,7 @@ class Dataset:
 
     def require_non_empty(self) -> "Dataset":
         """Return self, raising :class:`EmptyDatasetError` if there are no rows."""
-        if not self._individuals:
+        if not len(self):
             raise EmptyDatasetError(f"dataset {self.name!r} is empty")
         return self
 
@@ -341,7 +664,9 @@ class Dataset:
         """Return an (n, m) float matrix of observed attribute columns.
 
         ``names`` defaults to every observed attribute in schema order.  This
-        is the matrix a linear scoring function multiplies by its weights.
+        is the matrix a linear scoring function multiplies by its weights;
+        for a column-backed dataset it is stacked straight from the
+        contiguous ``float64`` arrays.
         """
         if names is None:
             names = self.schema.observed_names

@@ -14,6 +14,7 @@ import csv
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence, Union
 
+from repro.data.columns import CodedColumn, ColumnStoreBuilder
 from repro.data.dataset import Dataset
 from repro.data.schema import (
     Attribute,
@@ -143,44 +144,113 @@ def load_csv(
     observed_names: Sequence[str],
     name: Optional[str] = None,
     uid_field: Optional[str] = None,
+    chunk_rows: int = 50_000,
 ) -> Dataset:
-    """Load a dataset from a CSV file with a header row.
+    """Stream a CSV file with a header row into a column-backed dataset.
 
     Observed attribute columns are parsed as floats; protected attributes are
     kept as strings (the common format of crawled marketplace data).
+
+    The file is read in chunks of ``chunk_rows`` physical rows, each chunk
+    appended to a :class:`~repro.data.columns.ColumnStoreBuilder` — protected
+    values become integer codes against a running encode table, observed
+    values become ``float64`` arrays — so the file never materialises as
+    per-row dicts and a 10M-row table costs one chunk of Python values plus
+    its compact column arrays.  The resulting dataset is byte-identical (same
+    values, same schema, same content fingerprint) for every ``chunk_rows``,
+    including a single chunk covering the whole file.
+
+    A duplicate header column is a hard error (:class:`DataError` naming the
+    column): with two same-named columns the mapping from name to value is
+    ambiguous, and silently keeping one of them used to surface later as a
+    confusing downstream failure.
     """
     path = Path(path)
     if not path.exists():
         raise DataError(f"CSV file not found: {path}")
+    if chunk_rows < 1:
+        raise DataError(f"chunk_rows must be >= 1, got {chunk_rows}")
+    protected_list = [str(p) for p in protected_names]
+    observed_list = [str(o) for o in observed_names]
+    builder = ColumnStoreBuilder(
+        protected_list, observed_list, collect_uids=uid_field is not None
+    )
     with path.open(newline="", encoding="utf-8") as handle:
-        reader = csv.DictReader(handle)
-        raw_rows = list(reader)
-    if not raw_rows:
-        raise DataError(f"CSV file {path} contains no data rows")
-    records: List[Dict[str, object]] = []
-    for line_no, raw in enumerate(raw_rows, start=2):
-        record: Dict[str, object] = {}
-        for pname in protected_names:
-            if pname not in raw:
-                raise DataError(f"{path}:{line_no}: missing protected column {pname!r}")
-            record[pname] = raw[pname]
-        for oname in observed_names:
-            if oname not in raw:
-                raise DataError(f"{path}:{line_no}: missing observed column {oname!r}")
-            try:
-                record[oname] = float(raw[oname])
-            except ValueError:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None:
+            raise DataError(f"CSV file {path} contains no data rows")
+        duplicated = sorted({column for column in header if header.count(column) > 1})
+        if duplicated:
+            raise DataError(
+                f"{path}: duplicate CSV header column "
+                + ", ".join(repr(column) for column in duplicated)
+                + "; every column name must be unique"
+            )
+        positions = {column: index for index, column in enumerate(header)}
+        for pname in protected_list:
+            if pname not in positions:
+                raise DataError(f"{path}:2: missing protected column {pname!r}")
+        for oname in observed_list:
+            if oname not in positions:
+                raise DataError(f"{path}:2: missing observed column {oname!r}")
+        if uid_field is not None and uid_field not in positions:
+            raise DataError(f"{path}: missing uid column {uid_field!r}")
+        protected_positions = [(pname, positions[pname]) for pname in protected_list]
+        observed_positions = [(oname, positions[oname]) for oname in observed_list]
+        uid_position = None if uid_field is None else positions[uid_field]
+        width = len(header)
+
+        def fresh_chunk() -> Dict[str, List[object]]:
+            return {column: [] for column in (*protected_list, *observed_list)}
+
+        chunk = fresh_chunk()
+        chunk_uids: List[str] = []
+        in_chunk = 0
+        for line_no, row in enumerate(reader, start=2):
+            if not row:
+                continue  # blank line (csv.DictReader skipped these too)
+            if len(row) < width:
                 raise DataError(
-                    f"{path}:{line_no}: observed column {oname!r} has non-numeric "
-                    f"value {raw[oname]!r}"
-                ) from None
-        if uid_field is not None:
-            record[uid_field] = raw.get(uid_field, "")
-        records.append(record)
-    return load_records(
-        records,
-        protected_names=protected_names,
-        observed_names=observed_names,
-        name=name or path.stem,
-        uid_field=uid_field,
+                    f"{path}:{line_no}: row has {len(row)} fields, expected {width}"
+                )
+            for pname, index in protected_positions:
+                chunk[pname].append(row[index])
+            for oname, index in observed_positions:
+                raw = row[index]
+                try:
+                    chunk[oname].append(float(raw))
+                except ValueError:
+                    raise DataError(
+                        f"{path}:{line_no}: observed column {oname!r} has non-numeric "
+                        f"value {raw!r}"
+                    ) from None
+            if uid_position is not None:
+                chunk_uids.append(row[uid_position])
+            in_chunk += 1
+            if in_chunk >= chunk_rows:
+                builder.append_chunk(chunk, uids=chunk_uids if uid_field else None)
+                chunk = fresh_chunk()
+                chunk_uids = []
+                in_chunk = 0
+        if in_chunk:
+            builder.append_chunk(chunk, uids=chunk_uids if uid_field else None)
+    if not len(builder):
+        raise DataError(f"CSV file {path} contains no data rows")
+    store = builder.finish()
+    attributes: List[Attribute] = []
+    for pname in protected_list:
+        column = store.column(pname)
+        assert isinstance(column, CodedColumn)
+        domain = sorted(column.values, key=lambda v: (str(type(v)), str(v)))
+        attributes.append(
+            Attribute(name=pname, kind=AttributeKind.PROTECTED,
+                      atype=AttributeType.CATEGORICAL, domain=tuple(domain))
+        )
+    for oname in observed_list:
+        attributes.append(
+            Attribute(name=oname, kind=AttributeKind.OBSERVED, atype=AttributeType.NUMERIC)
+        )
+    return Dataset.from_store(
+        Schema(tuple(attributes)), store, name=name or path.stem
     )

@@ -108,8 +108,17 @@ class CrowdsourcingGenerator:
         size: int,
         biases: Sequence[BiasSpec] = (),
         name: str = "synthetic-crowdsourcing",
+        columnar: bool = False,
     ) -> Dataset:
-        """Generate ``size`` workers, optionally with planted biases applied."""
+        """Generate ``size`` workers, optionally with planted biases applied.
+
+        With ``columnar=True`` the population is packaged as a column-backed
+        dataset (:meth:`~repro.data.dataset.Dataset.from_store`) instead of
+        per-row :class:`Individual` dicts — same RNG draws, same values, same
+        content fingerprint, but a million-row population costs a handful of
+        contiguous arrays.  Planted biases rewrite rows, so a biased
+        population always materialises rows (``columnar`` is ignored).
+        """
         if size < 1:
             raise MarketplaceError(f"population size must be >= 1, got {size}")
         rng = np.random.default_rng(self.seed)
@@ -136,6 +145,42 @@ class CrowdsourcingGenerator:
             experience_effect = 0.1 * (experience - low_exp) / max(high_exp - low_exp, 1)
             skill_columns[skill] = np.clip(base + experience_effect, 0.0, 1.0)
 
+        # Per-row rounding shared by both packagings: Python round() is
+        # decimal-correct where np.round is not, so the columnar path must
+        # use the same scalar rounding to stay byte-identical.
+        rounded_skills = {
+            skill: [float(round(value, 4)) for value in column.tolist()]
+            for skill, column in skill_columns.items()
+        }
+
+        if columnar and not biases:
+            from repro.data.columns import CodedColumn, ColumnStore, NumericColumn
+
+            columns: Dict[str, object] = {}
+            for attribute, column in protected_columns.items():
+                values = list(self.spec.protected_distributions[attribute])
+                lookup = {value: code for code, value in enumerate(values)}
+                codes = np.fromiter(
+                    (lookup[value] for value in column.tolist()),
+                    dtype=np.int64,
+                    count=size,
+                )
+                columns[attribute] = CodedColumn(codes, values)
+            for attribute, ints in (
+                ("Year of Birth", birth_years),
+                ("Experience", experience),
+            ):
+                uniques, inverse = np.unique(ints, return_inverse=True)
+                columns[attribute] = CodedColumn(
+                    inverse.astype(np.int64), [int(v) for v in uniques]
+                )
+            for skill in self.spec.skills:
+                columns[skill] = NumericColumn(
+                    np.asarray(rounded_skills[skill], dtype=np.float64)
+                )
+            store = ColumnStore(size, columns)  # sequential w1..wn uids
+            return Dataset.from_store(schema, store, name=name, validate=False)
+
         individuals = []
         for index in range(size):
             values: Dict[str, object] = {
@@ -145,7 +190,7 @@ class CrowdsourcingGenerator:
             values["Year of Birth"] = int(birth_years[index])
             values["Experience"] = int(experience[index])
             for skill in self.spec.skills:
-                values[skill] = float(round(skill_columns[skill][index], 4))
+                values[skill] = rounded_skills[skill][index]
             individuals.append(Individual(uid=f"w{index + 1}", values=values))
 
         dataset = Dataset(schema, individuals, name=name, validate=False)

@@ -132,7 +132,7 @@ class FaiRankEngine:
             raise SessionError(str(error)) from None
         return dataset_name, [job.function.name for job in marketplace]
 
-    def save_catalog(self, path: str) -> None:
+    def save_catalog(self, path: str, columnar: bool = False) -> None:
         """Export this session's whole registry to a catalog snapshot file.
 
         The snapshot (see :mod:`repro.snapshot`) captures every dataset,
@@ -141,9 +141,14 @@ class FaiRankEngine:
         be rebooted elsewhere — ``fairank serve --catalog PATH`` serves the
         exact same resources (identical content fingerprints, hence
         identical cache keys).
+
+        With ``columnar=True`` every registered dataset is persisted as raw
+        column files under ``<path>.columns/<fingerprint>/`` instead of
+        embedded JSON rows; reload memory-maps the arrays, so large
+        populations boot without parsing row dicts.
         """
         try:
-            self.catalog.save(path)
+            self.catalog.save(path, columnar_datasets=True if columnar else None)
         except FaiRankError as error:
             raise SessionError(str(error)) from None
 

@@ -13,7 +13,11 @@ Snapshot format (``{"format": "fairank-catalog", "version": 1}``):
 * **datasets** travel *inline* (schema + rows) by default, or *by loader
   reference* (``{"source": {"loader": ...}}``) for populations that are
   cheaper to rebuild than to embed — the built-in Table 1 example, a CSV
-  file on disk, or a seeded synthetic population;
+  file on disk, a seeded synthetic population, or an on-disk *column
+  sidecar* (``save_catalog(..., columnar_datasets=...)`` writes each
+  dataset's raw column arrays under ``<snapshot>.columns/<fingerprint>/``
+  and load re-opens them as read-only memory maps — the only practical
+  shape for a million-row population);
 * **scoring functions** travel by their normalised weights (only
   transparent :class:`~repro.scoring.linear.LinearScoringFunction` entries
   are snapshotable — an opaque or rank-derived function has no portable
@@ -37,7 +41,7 @@ from __future__ import annotations
 import json
 from dataclasses import replace as dataclass_replace
 from pathlib import Path
-from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.errors import CatalogError, FaiRankError
 
@@ -62,8 +66,8 @@ SNAPSHOT_VERSION = 1
 # -- datasets -----------------------------------------------------------------
 
 
-def _dataset_to_json(dataset) -> Dict[str, object]:
-    schema = [
+def _schema_to_json(schema) -> List[Dict[str, object]]:
+    return [
         {
             "name": attr.name,
             "kind": attr.kind.value,
@@ -71,8 +75,29 @@ def _dataset_to_json(dataset) -> Dict[str, object]:
             "domain": None if attr.domain is None else list(attr.domain),
             "description": attr.description,
         }
-        for attr in dataset.schema
+        for attr in schema
     ]
+
+
+def _schema_from_json(entries):
+    from repro.data.schema import Attribute, AttributeKind, AttributeType, Schema
+
+    attributes = []
+    for entry in entries:
+        attributes.append(
+            Attribute(
+                name=str(entry["name"]),
+                kind=AttributeKind(entry["kind"]),
+                atype=AttributeType(entry["atype"]),
+                domain=None if entry.get("domain") is None else tuple(entry["domain"]),
+                description=str(entry.get("description", "")),
+            )
+        )
+    return Schema(tuple(attributes))
+
+
+def _dataset_to_json(dataset) -> Dict[str, object]:
+    schema = _schema_to_json(dataset.schema)
     individuals = [
         {
             "uid": individual.uid,
@@ -85,20 +110,8 @@ def _dataset_to_json(dataset) -> Dict[str, object]:
 
 def _dataset_from_json(payload: Mapping[str, object]):
     from repro.data.dataset import Dataset, Individual
-    from repro.data.schema import Attribute, AttributeKind, AttributeType, Schema
 
-    attributes = []
-    for entry in payload["schema"]:  # type: ignore[union-attr]
-        attributes.append(
-            Attribute(
-                name=str(entry["name"]),
-                kind=AttributeKind(entry["kind"]),
-                atype=AttributeType(entry["atype"]),
-                domain=None if entry.get("domain") is None else tuple(entry["domain"]),
-                description=str(entry.get("description", "")),
-            )
-        )
-    schema = Schema(tuple(attributes))
+    schema = _schema_from_json(payload["schema"])  # type: ignore[arg-type]
     individuals = tuple(
         Individual(uid=str(row["uid"]), values=dict(row["values"]))
         for row in payload["individuals"]  # type: ignore[union-attr]
@@ -113,8 +126,31 @@ def _dataset_from_json(payload: Mapping[str, object]):
 
 #: Loader registry for datasets saved *by reference* instead of inline.  A
 #: source spec is ``{"loader": <key>, ...loader-specific fields...}``.
-def _load_dataset_source(source: Mapping[str, object]):
+#: ``base_dir`` anchors relative paths (the snapshot file's directory, so a
+#: snapshot plus its column sidecars can be moved or shipped as a unit).
+def _load_dataset_source(source: Mapping[str, object], base_dir: Optional[Path] = None):
     loader = source.get("loader")
+    if loader == "columns":
+        from repro.data.columns import ColumnStore
+        from repro.data.dataset import Dataset
+
+        try:
+            directory = Path(str(source["dir"]))
+            schema = _schema_from_json(source["schema"])  # type: ignore[arg-type]
+        except KeyError as missing:
+            raise CatalogError(
+                f"columns dataset source is missing field {missing.args[0]!r} "
+                "(needs dir, schema)"
+            ) from None
+        if not directory.is_absolute() and base_dir is not None:
+            directory = base_dir / directory
+        store = ColumnStore.load(directory, mmap=bool(source.get("mmap", True)))
+        return Dataset.from_store(
+            schema,
+            store,
+            name=str(source.get("name", "dataset")),
+            validate=False,
+        )
     if loader == "example_table1":
         from repro.data.loaders import load_example_table1
 
@@ -143,10 +179,11 @@ def _load_dataset_source(source: Mapping[str, object]):
         return synthetic_population(
             size=int(source.get("size", 400)),  # type: ignore[arg-type]
             seed=int(source.get("seed", 7)),  # type: ignore[arg-type]
+            columnar=bool(source.get("columnar", False)),
         )
     raise CatalogError(
         f"unknown dataset loader {loader!r} in catalog snapshot; "
-        "known loaders: csv, example_table1, synthetic"
+        "known loaders: columns, csv, example_table1, synthetic"
     )
 
 
@@ -356,14 +393,69 @@ def save_catalog(
     path: Union[str, Path],
     *,
     dataset_sources: Optional[Mapping[str, Mapping[str, object]]] = None,
+    columnar_datasets: Union[bool, Sequence[str], None] = None,
 ) -> Dict[str, object]:
     """Write ``catalog`` to a snapshot file; returns the snapshot document.
 
     ``dataset_sources`` maps a registered dataset name to a loader reference
     (e.g. ``{"loader": "csv", "path": ..., "protected": [...], "observed":
     [...]}``); named datasets are saved by that reference instead of inline.
+
+    ``columnar_datasets`` names registered datasets to persist as on-disk
+    *column sidecars*: each one's values are written as raw column files
+    under ``<path>.columns/<fingerprint-prefix>/`` (see
+    :meth:`repro.data.columns.ColumnStore.save`) and the snapshot entry
+    records a ``{"loader": "columns"}`` reference, so
+    :func:`load_catalog` re-opens the arrays as read-only memory maps
+    instead of parsing embedded JSON rows — the only practical shape for a
+    million-row population.  ``True`` selects every registered dataset.
+    The sidecar directory travels with the snapshot file (the recorded path
+    is relative), and a name may not appear in both ``dataset_sources`` and
+    ``columnar_datasets``.
     """
     sources = dict(dataset_sources or {})
+    path = Path(path)
+    dataset_names = {
+        resource.name
+        for resource in catalog.resources()
+        if resource.kind.value == "dataset"
+    }
+    if columnar_datasets is True:
+        columnar = set(dataset_names)
+    else:
+        columnar = {str(name) for name in (columnar_datasets or ())}
+        unknown_columnar = columnar - dataset_names
+        if unknown_columnar:
+            raise CatalogError(
+                "columnar_datasets references unregistered datasets: "
+                f"{sorted(unknown_columnar)}"
+            )
+    overlap = columnar & set(sources)
+    if overlap:
+        raise CatalogError(
+            f"datasets named in both dataset_sources and columnar_datasets: "
+            f"{sorted(overlap)}"
+        )
+    if columnar:
+        sidecar_root = path.with_name(path.name + ".columns")
+        for resource in catalog.resources():
+            if resource.name not in columnar or resource.kind.value != "dataset":
+                continue
+            dataset = resource.value
+            directory = sidecar_root / resource.fingerprint[:16]
+            try:
+                directory.mkdir(parents=True, exist_ok=True)
+                dataset.to_store().save(directory)
+            except OSError as error:
+                raise CatalogError(
+                    f"cannot write column sidecar for dataset {resource.name!r}: {error}"
+                ) from None
+            sources[resource.name] = {
+                "loader": "columns",
+                "dir": f"{sidecar_root.name}/{resource.fingerprint[:16]}",
+                "name": dataset.name,
+                "schema": _schema_to_json(dataset.schema),
+            }
     entries: List[Dict[str, object]] = []
     for resource in catalog.resources():
         entry: Dict[str, object] = {
@@ -393,7 +485,7 @@ def save_catalog(
     return document
 
 
-def _rebuild_resource(entry: Mapping[str, object]):
+def _rebuild_resource(entry: Mapping[str, object], base_dir: Optional[Path] = None):
     """(kind, value) for one snapshot entry."""
     from repro.catalog import ResourceKind
 
@@ -405,7 +497,7 @@ def _rebuild_resource(entry: Mapping[str, object]):
         ) from None
     if kind is ResourceKind.DATASET:
         if "source" in entry:
-            return kind, _load_dataset_source(entry["source"])  # type: ignore[arg-type]
+            return kind, _load_dataset_source(entry["source"], base_dir)  # type: ignore[arg-type]
         return kind, _dataset_from_json(entry["dataset"])  # type: ignore[arg-type]
     if kind is ResourceKind.FUNCTION:
         return kind, _function_from_json(entry["function"])  # type: ignore[arg-type]
@@ -476,6 +568,9 @@ def load_catalog(path: Union[str, Path]) -> "Catalog":
     from repro.catalog import Catalog
 
     entries = _read_snapshot_document(path)
+    # Relative loader paths (column sidecars) resolve against the snapshot's
+    # own directory, so a snapshot + sidecar tree relocates as a unit.
+    base_dir = Path(path).resolve().parent
     catalog = Catalog()
     for index, entry in enumerate(entries, start=1):
         if not isinstance(entry, Mapping) or "name" not in entry:
@@ -483,7 +578,7 @@ def load_catalog(path: Union[str, Path]) -> "Catalog":
                 f"catalog snapshot entry #{index} is malformed (needs kind and name)"
             )
         try:
-            kind, value = _rebuild_resource(entry)
+            kind, value = _rebuild_resource(entry, base_dir)
         except CatalogError:
             raise
         except (FaiRankError, KeyError, TypeError, ValueError) as error:

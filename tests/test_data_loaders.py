@@ -103,3 +103,28 @@ class TestLoadCsv:
         path.write_text("Gender,Rating\n", encoding="utf-8")
         with pytest.raises(DataError):
             load_csv(path, protected_names=["Gender"], observed_names=["Rating"])
+
+    def test_duplicate_header_column_fails_fast(self, tmp_path):
+        # A duplicated column makes the name -> value mapping ambiguous;
+        # silently keeping one copy used to surface later as a confusing
+        # downstream failure.  It must fail at the header, naming the column.
+        path = tmp_path / "dup.csv"
+        path.write_text(
+            "Gender,Rating,Gender\nF,0.9,M\nM,0.4,F\n", encoding="utf-8"
+        )
+        with pytest.raises(DataError) as excinfo:
+            load_csv(path, protected_names=["Gender"], observed_names=["Rating"])
+        message = str(excinfo.value)
+        assert "duplicate CSV header column" in message
+        assert "'Gender'" in message
+
+    def test_duplicate_header_names_every_offender(self, tmp_path):
+        path = tmp_path / "dup2.csv"
+        path.write_text(
+            "Gender,Gender,Rating,Rating\nF,M,0.9,0.4\n", encoding="utf-8"
+        )
+        with pytest.raises(DataError) as excinfo:
+            load_csv(path, protected_names=["Gender"], observed_names=["Rating"])
+        message = str(excinfo.value)
+        assert "'Gender'" in message
+        assert "'Rating'" in message

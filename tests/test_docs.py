@@ -1,0 +1,80 @@
+"""The docs tree and its CI gate (``scripts/check_docs.py``).
+
+The gate promises two invariants: every internal link in ``docs/*.md`` and
+``README.md`` resolves to a real file, and every ``--flag`` the docs name
+exists in the ``fairank`` CLI parser.  These tests run the gate exactly as
+CI does (a subprocess from the repository root), check the negative paths
+on synthetic broken docs, and pin the docs tree's required files.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOCS = REPO_ROOT / "docs"
+
+
+def _run_gate(*args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(REPO_ROOT / "scripts" / "check_docs.py"), *args],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+    )
+
+
+def test_docs_tree_exists():
+    """The documented docs tree ships its three core files."""
+    for name in ("ARCHITECTURE.md", "PROTOCOL.md", "OPERATIONS.md"):
+        assert (DOCS / name).is_file(), f"docs/{name} is missing"
+
+
+def test_docs_gate_passes_on_repo():
+    """The CI gate passes on the committed docs tree."""
+    completed = _run_gate()
+    assert completed.returncode == 0, completed.stderr
+    assert "docs check OK" in completed.stdout
+
+
+def test_docs_gate_rejects_broken_link(tmp_path):
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "docs" / "BAD.md").write_text(
+        "see [the missing page](NOPE.md)\n", encoding="utf-8"
+    )
+    completed = _run_gate("--root", str(tmp_path))
+    assert completed.returncode == 1
+    assert "broken link -> NOPE.md" in completed.stderr
+
+
+def test_docs_gate_rejects_unknown_flag(tmp_path):
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "docs" / "BAD.md").write_text(
+        "run `fairank serve --does-not-exist`\n", encoding="utf-8"
+    )
+    completed = _run_gate("--root", str(tmp_path))
+    assert completed.returncode == 1
+    assert "--does-not-exist" in completed.stderr
+
+
+def test_docs_gate_requires_docs_tree(tmp_path):
+    completed = _run_gate("--root", str(tmp_path))
+    assert completed.returncode == 1
+    assert "no docs/*.md" in completed.stderr
+
+
+@pytest.mark.parametrize(
+    "flag", ["--catalog", "--workers", "--columnar", "--slow-ms", "--verbose"]
+)
+def test_operational_flags_are_documented(flag):
+    """The serving flags OPERATIONS.md promises to cover are actually there."""
+    text = "".join(
+        (DOCS / name).read_text(encoding="utf-8")
+        for name in ("OPERATIONS.md", "ARCHITECTURE.md")
+    )
+    assert flag in text, f"docs never mention {flag}"
