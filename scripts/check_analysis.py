@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""CI gate for the static analysis plane (``repro.analysis``).
+
+Runs the full rule pack (see ``docs/ANALYSIS.md``) over the repository's
+source roots against the committed baseline and **fails** on:
+
+* any new finding (a violation not masked by ``.fairlint-baseline.json``),
+* any unused or malformed ``# fairlint:`` suppression (FL000),
+* any stale baseline entry (a tolerated legacy finding that no longer
+  occurs — regenerate with ``fairank lint --update-baseline`` so the
+  ratchet shrinks).
+
+``--self-test`` additionally proves every registered rule still detects
+its own seeded violation (:mod:`repro.analysis.selftest`), so the
+analysis plane cannot rot silently.  ``--output`` always writes the JSON
+report — CI uploads it as an artifact even on failure.
+
+Exit status 0 when clean, 1 otherwise.  Stdlib only; run from the
+repository root (CI does), or pass ``--root``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List
+
+
+def main(argv: List[str]) -> int:
+    arguments = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    arguments.add_argument(
+        "--root", default=".", help="repository root (default: cwd)"
+    )
+    arguments.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="baseline file (default: <root>/.fairlint-baseline.json)",
+    )
+    arguments.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="also write the JSON report here (CI artifact)",
+    )
+    arguments.add_argument(
+        "--self-test", action="store_true",
+        help="also require every rule to detect its seeded violation",
+    )
+    options = arguments.parse_args(argv)
+    root = Path(options.root).resolve()
+    # The analysis plane itself always comes from this script's repository
+    # (--root may point at a tree that has no src/repro of its own).
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+    from repro.analysis import (
+        DEFAULT_BASELINE_NAME,
+        DEFAULT_TARGETS,
+        Baseline,
+        run_analysis,
+    )
+
+    baseline_path = (
+        Path(options.baseline) if options.baseline else root / DEFAULT_BASELINE_NAME
+    )
+    baseline = Baseline.load(baseline_path) if baseline_path.is_file() else None
+    targets = [root / target for target in DEFAULT_TARGETS if (root / target).exists()]
+    report = run_analysis(targets, root=root, baseline=baseline)
+
+    if options.output:
+        Path(options.output).write_text(
+            json.dumps(report.to_json(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    problems = 0
+    if report.failed:
+        print(report.render_text(), file=sys.stderr)
+        problems += len(report.diff.new) + len(report.diff.stale)
+
+    if options.self_test:
+        from repro.analysis.selftest import run_selftest
+
+        results = run_selftest()
+        for rule_id, count in sorted(results.items()):
+            if count == 0:
+                print(
+                    f"self-test: rule {rule_id} no longer detects its "
+                    "seeded violation",
+                    file=sys.stderr,
+                )
+                problems += 1
+
+    if problems:
+        print(f"analysis check: {problems} problem(s)", file=sys.stderr)
+        return 1
+    masked = len(report.diff.masked)
+    print(
+        f"analysis check OK: {report.files_analyzed} file(s) clean "
+        f"({masked} baseline-masked finding(s))"
+        + (", every rule detects its seeded violation" if options.self_test else "")
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

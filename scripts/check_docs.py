@@ -1,16 +1,23 @@
 #!/usr/bin/env python
-"""CI gate for the docs tree: links must resolve, flags must exist.
+"""CI gate for the docs tree: links, anchors, flags and rule ids must exist.
 
-Two checks over ``docs/*.md`` (plus ``README.md`` for links):
+Four checks over ``docs/*.md`` (plus ``README.md`` for links/anchors):
 
 * **links** — every internal markdown link ``[text](target)`` must point
   at a file that exists, resolved relative to the file containing the
-  link (external ``http(s)://`` / ``mailto:`` targets are skipped, and a
-  ``#fragment`` suffix is ignored);
+  link (external ``http(s)://`` / ``mailto:`` targets are skipped);
+* **anchors** — a link with a ``#fragment`` (same-file ``(#section)`` or
+  cross-file ``(FILE.md#section)``) must name a real heading: the
+  fragment has to match the GitHub-style slug of some heading in the
+  target markdown file, so section references can never go dead;
 * **flags** — every ``--flag`` token named in ``docs/*.md`` must exist in
   the ``fairank`` CLI parser (:func:`repro.cli.build_parser`, walked
   recursively through its subcommands), so documentation can never name
-  an option the binary does not accept.
+  an option the binary does not accept;
+* **rule ids** — every ``FLnnn`` analysis rule id mentioned in
+  ``docs/*.md`` must exist in the :mod:`repro.analysis` registry, so the
+  rule catalogue in ``docs/ANALYSIS.md`` (and FL005's cross-reference in
+  ``docs/OPERATIONS.md``) cannot drift from the shipped rule pack.
 
 Exit status 0 when clean, 1 with one line per problem otherwise.  Run it
 from the repository root (CI does), or pass ``--root``.
@@ -22,14 +29,20 @@ import argparse
 import re
 import sys
 from pathlib import Path
-from typing import List, Set
+from typing import Dict, List, Set
 
-#: ``[text](target)`` — target captured without any ``#fragment`` suffix.
-_LINK = re.compile(r"\[[^\]]*\]\(([^)#\s]+)(?:#[^)]*)?\)")
+#: ``[text](target)`` — target captured with any ``#fragment`` suffix.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 
 #: A long-option token: ``--workers``, ``--slow-ms``, ... (word-bounded so
 #: YAML comments or ``a--b`` text cannot produce false positives).
 _FLAG = re.compile(r"(?<![\w-])--[a-z][a-z0-9-]*")
+
+#: A static-analysis rule id (see repro.analysis.registry).
+_RULE_ID = re.compile(r"\bFL\d{3}\b")
+
+#: A markdown ATX heading (used to build anchor slugs).
+_HEADING = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$")
 
 _EXTERNAL_PREFIXES = ("http://", "https://", "mailto:")
 
@@ -49,15 +62,58 @@ def _parser_flags() -> Set[str]:
     return flags
 
 
+def _slugify(heading: str) -> str:
+    """GitHub-style anchor slug for one heading line."""
+    text = heading.strip().lower()
+    text = re.sub(r"`([^`]*)`", r"\1", text)            # drop code ticks
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # keep link text
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def _anchors(path: Path) -> Set[str]:
+    """Every heading slug in a markdown file (with -1/-2 duplicate suffixes)."""
+    slugs: Set[str] = set()
+    counts: Dict[str, int] = {}
+    in_code_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if line.lstrip().startswith("```"):
+            in_code_fence = not in_code_fence
+            continue
+        if in_code_fence:
+            continue
+        match = _HEADING.match(line)
+        if not match:
+            continue
+        slug = _slugify(match.group(1))
+        seen = counts.get(slug, 0)
+        counts[slug] = seen + 1
+        slugs.add(slug if seen == 0 else f"{slug}-{seen}")
+    return slugs
+
+
 def check_links(markdown_files: List[Path]) -> List[str]:
+    """Broken file targets *and* dead section anchors."""
     problems = []
+    anchor_cache: Dict[Path, Set[str]] = {}
     for path in markdown_files:
-        for target in _LINK.findall(path.read_text(encoding="utf-8")):
-            if target.startswith(_EXTERNAL_PREFIXES):
+        for raw_target in _LINK.findall(path.read_text(encoding="utf-8")):
+            if raw_target.startswith(_EXTERNAL_PREFIXES):
                 continue
-            resolved = (path.parent / target).resolve()
+            target, _, fragment = raw_target.partition("#")
+            resolved = (path.parent / target).resolve() if target else path
             if not resolved.exists():
-                problems.append(f"{path}: broken link -> {target}")
+                problems.append(f"{path}: broken link -> {raw_target}")
+                continue
+            if not fragment or resolved.suffix.lower() != ".md":
+                continue
+            if resolved not in anchor_cache:
+                anchor_cache[resolved] = _anchors(resolved)
+            if fragment.lower() not in anchor_cache[resolved]:
+                problems.append(
+                    f"{path}: dead anchor -> {raw_target} "
+                    f"(no heading slug '{fragment}' in {resolved.name})"
+                )
     return problems
 
 
@@ -70,6 +126,22 @@ def check_flags(doc_files: List[Path]) -> List[str]:
                 problems.append(
                     f"{path}: documents flag {flag} which no fairank "
                     "subcommand accepts"
+                )
+    return problems
+
+
+def check_rule_ids(doc_files: List[Path]) -> List[str]:
+    """Every FLnnn mentioned in docs must be a registered analysis rule."""
+    from repro.analysis import rule_ids
+
+    known = set(rule_ids())
+    problems = []
+    for path in doc_files:
+        for rule_id in sorted(set(_RULE_ID.findall(path.read_text(encoding="utf-8")))):
+            if rule_id not in known:
+                problems.append(
+                    f"{path}: mentions analysis rule {rule_id} which is not "
+                    "in the repro.analysis registry"
                 )
     return problems
 
@@ -91,7 +163,11 @@ def main(argv: List[str]) -> int:
     if readme.exists():
         link_files.append(readme)
 
-    problems = check_links(link_files) + check_flags(doc_files)
+    problems = (
+        check_links(link_files)
+        + check_flags(doc_files)
+        + check_rule_ids(doc_files)
+    )
     for problem in problems:
         print(problem, file=sys.stderr)
     if problems:
@@ -101,9 +177,14 @@ def main(argv: List[str]) -> int:
         len(set(_FLAG.findall(path.read_text(encoding="utf-8"))))
         for path in doc_files
     )
+    rule_count = sum(
+        len(set(_RULE_ID.findall(path.read_text(encoding="utf-8"))))
+        for path in doc_files
+    )
     print(
-        f"docs check OK: {len(link_files)} file(s), links resolve, "
-        f"{flag_count} documented flag reference(s) exist in the CLI"
+        f"docs check OK: {len(link_files)} file(s); links and anchors "
+        f"resolve, {flag_count} documented flag reference(s) and "
+        f"{rule_count} rule id reference(s) exist"
     )
     return 0
 

@@ -1,0 +1,41 @@
+"""``repro.analysis`` — the repo-aware static analysis plane.
+
+A stdlib-only (``ast`` + ``tokenize``) lint framework whose rule pack
+encodes this repository's *real* invariants — lock discipline, hot-path
+columnar purity, canonical-envelope stability, fingerprint completeness,
+metrics naming, thread hygiene, swallowed exceptions — plus a format
+floor that replaces the advisory ruff step with a gate that runs anywhere
+Python does.  See ``docs/ANALYSIS.md`` for the rule catalogue, the
+``# fairlint: disable=`` suppression syntax and the baseline ratchet.
+
+Entry points: ``fairank lint`` (CLI) and ``scripts/check_analysis.py``
+(CI gate); both drive :func:`repro.analysis.engine.run_analysis`.
+"""
+
+from repro.analysis.baseline import Baseline, BaselineDiff, baseline_from_findings
+from repro.analysis.engine import (
+    DEFAULT_BASELINE_NAME,
+    DEFAULT_TARGETS,
+    AnalysisReport,
+    run_analysis,
+    update_baseline,
+)
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, all_rules, get_rule, register, rule_ids
+
+__all__ = [
+    "AnalysisReport",
+    "Baseline",
+    "BaselineDiff",
+    "DEFAULT_BASELINE_NAME",
+    "DEFAULT_TARGETS",
+    "Finding",
+    "Rule",
+    "all_rules",
+    "baseline_from_findings",
+    "get_rule",
+    "register",
+    "rule_ids",
+    "run_analysis",
+    "update_baseline",
+]

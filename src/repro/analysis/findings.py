@@ -1,0 +1,55 @@
+"""Finding: one located diagnostic produced by a rule.
+
+A finding is a plain value — ``(rule, path, line, col, message, severity)``
+— rendered either as the classic one-line text form
+(``file:line:col RULEID message``) or as a JSON object.  Paths are always
+repository-relative POSIX strings so findings are stable across machines
+and can key a committed baseline file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Dict, Iterable, List
+
+__all__ = ["Finding", "render_text", "render_json_payload"]
+
+#: Severities a rule may declare, strongest first.
+SEVERITIES = ("error", "warning")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One diagnostic at a source location (sortable by location)."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    severity: str = "error"
+
+    def text(self) -> str:
+        return f"{self.path}:{self.line}:{self.col} {self.rule} {self.message}"
+
+    def to_json(self) -> Dict[str, object]:
+        return asdict(self)
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, object]) -> "Finding":
+        return cls(
+            path=str(payload["path"]),
+            line=int(payload["line"]),  # type: ignore[arg-type]
+            col=int(payload["col"]),  # type: ignore[arg-type]
+            rule=str(payload["rule"]),
+            message=str(payload["message"]),
+            severity=str(payload.get("severity", "error")),
+        )
+
+
+def render_text(findings: Iterable[Finding]) -> str:
+    return "\n".join(finding.text() for finding in findings)
+
+
+def render_json_payload(findings: Iterable[Finding]) -> List[Dict[str, object]]:
+    return [finding.to_json() for finding in findings]

@@ -1,0 +1,88 @@
+"""Rule registry: every lint rule self-registers under a stable id.
+
+A rule is one class with an ``id`` (``FLnnn``), a short ``name``, a
+``severity``, a human ``description`` and a ``check_module`` method
+yielding :class:`~repro.analysis.findings.Finding` objects.  The registry
+is the single source of truth for which ids exist — the docs gate
+(``scripts/check_docs.py``) cross-checks every ``FLnnn`` mentioned in
+``docs/*.md`` against it.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterable, List, Type
+
+from repro.analysis.findings import SEVERITIES, Finding
+from repro.analysis.source import Project, SourceModule
+
+__all__ = ["Rule", "all_rules", "get_rule", "register", "rule_ids"]
+
+_RULE_ID = re.compile(r"^FL\d{3}$")
+
+_RULES: Dict[str, "Rule"] = {}
+_LOADED = False
+
+
+class Rule:
+    """Base class for one lint rule (subclass and ``@register``)."""
+
+    id: str = ""
+    name: str = ""
+    severity: str = "error"
+    description: str = ""
+
+    def check_module(
+        self, module: SourceModule, project: Project
+    ) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, module: SourceModule, line: int, col: int, message: str
+    ) -> Finding:
+        return Finding(
+            path=module.rel,
+            line=line,
+            col=col,
+            rule=self.id,
+            message=message,
+            severity=self.severity,
+        )
+
+
+def register(rule_class: Type[Rule]) -> Type[Rule]:
+    """Class decorator: instantiate the rule and add it to the registry."""
+    rule = rule_class()
+    if not _RULE_ID.match(rule.id):
+        raise ValueError(f"rule id {rule.id!r} does not match FLnnn")
+    if rule.severity not in SEVERITIES:
+        raise ValueError(f"rule {rule.id} has unknown severity {rule.severity!r}")
+    if rule.id in _RULES:
+        raise ValueError(f"duplicate rule id {rule.id}")
+    _RULES[rule.id] = rule
+    return rule_class
+
+
+def _ensure_loaded() -> None:
+    global _LOADED
+    if not _LOADED:
+        _LOADED = True
+        # Importing the package registers every shipped rule.
+        import repro.analysis.rules  # noqa: F401
+
+
+def all_rules() -> List[Rule]:
+    _ensure_loaded()
+    return [_RULES[rule_id] for rule_id in sorted(_RULES)]
+
+
+def rule_ids() -> List[str]:
+    return [rule.id for rule in all_rules()]
+
+
+def get_rule(rule_id: str) -> Rule:
+    _ensure_loaded()
+    try:
+        return _RULES[rule_id]
+    except KeyError:
+        raise KeyError(f"unknown rule id {rule_id!r}") from None

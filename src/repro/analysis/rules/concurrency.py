@@ -1,0 +1,261 @@
+"""Concurrency rules: FL001 lock discipline, FL006 bare-thread hygiene.
+
+**FL001** encodes the repo's shared-state invariant (ScoreStore, Catalog,
+ResultCache, WorkerPool, MetricsRegistry, ...): state a class guards with
+its ``threading.Lock``/``RLock`` must *always* be guarded.  The rule
+derives the guarded set per class — every ``self._x`` attribute that is
+read or written inside a ``with self._lock:`` block anywhere in the class
+— and flags writes to those attributes outside a lock block.  ``__init__``
+(single-threaded construction) and ``*_locked`` methods (the repo's
+"caller holds the lock" naming convention) are exempt.
+
+**FL006** keeps request-serving code free of scheduling hazards: no
+``time.sleep`` in ``repro.server`` / ``repro.shard`` / ``repro.service``
+(poll with an interruptible ``Event.wait`` instead, so shutdown is never
+blocked on a sleeping thread), and no daemon ``threading.Thread`` inside
+HTTP handler / forward paths (daemon threads die mid-write on interpreter
+exit; spawn them from lifecycle code only).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register
+from repro.analysis.source import Project, SourceModule
+
+__all__ = ["LockDiscipline", "ThreadHygiene"]
+
+_LOCK_FACTORIES = {"Lock", "RLock"}
+
+
+def _self_attribute(node: ast.AST) -> Optional[str]:
+    """The ``_name`` of a ``self._name`` attribute expression, else None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _written_self_attributes(target: ast.AST) -> List[Tuple[str, ast.AST]]:
+    """Underscore-prefixed ``self._x`` attributes an assignment target
+    writes or mutates (``self._x = ...``, ``self._x[k] = ...``,
+    ``self._x[k][j] += ...``, tuple unpacking)."""
+    out: List[Tuple[str, ast.AST]] = []
+    if isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            out.extend(_written_self_attributes(element))
+        return out
+    node = target
+    while isinstance(node, ast.Subscript):  # peel self._x[...][...]
+        node = node.value
+    attribute = _self_attribute(node)
+    if attribute is not None and attribute.startswith("_"):
+        out.append((attribute, target))
+    return out
+
+
+def _is_lock_factory(value: ast.AST) -> bool:
+    """True for ``threading.Lock()`` / ``threading.RLock()`` / ``Lock()``."""
+    if not isinstance(value, ast.Call):
+        return False
+    func = value.func
+    if isinstance(func, ast.Attribute):
+        return func.attr in _LOCK_FACTORIES
+    if isinstance(func, ast.Name):
+        return func.id in _LOCK_FACTORIES
+    return False
+
+
+def _with_lock_attributes(node: ast.stmt, lock_attributes: Set[str]) -> bool:
+    """True when the statement is ``with self.<lock>:`` on a known lock."""
+    if not isinstance(node, (ast.With, ast.AsyncWith)):
+        return False
+    for item in node.items:
+        attribute = _self_attribute(item.context_expr)
+        if attribute is not None and (
+            attribute in lock_attributes or "lock" in attribute.lower()
+        ):
+            return True
+    return False
+
+
+class _ClassScan:
+    """One pass over a class body, tracking the with-lock context."""
+
+    def __init__(self, lock_attributes: Set[str]) -> None:
+        self.lock_attributes = lock_attributes
+        self.guarded: Set[str] = set()
+        #: (attribute, node, method_name) writes made outside any lock block
+        self.unlocked_writes: List[Tuple[str, ast.AST, str]] = []
+
+    def scan_method(self, method: ast.AST) -> None:
+        exempt = isinstance(
+            method, (ast.FunctionDef, ast.AsyncFunctionDef)
+        ) and (method.name == "__init__" or method.name.endswith("_locked"))
+        for statement in getattr(method, "body", []):
+            self._scan(statement, under_lock=False,
+                       method_name=getattr(method, "name", "<lambda>"),
+                       exempt=exempt)
+
+    def _scan(
+        self, node: ast.AST, *, under_lock: bool, method_name: str, exempt: bool
+    ) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            # A nested function may run on another thread long after this
+            # block exits — never inherit the lock context.
+            for child in ast.iter_child_nodes(node):
+                self._scan(child, under_lock=False,
+                           method_name=method_name, exempt=exempt)
+            return
+        if isinstance(node, ast.ClassDef):
+            return  # nested classes are scanned independently
+        if _with_lock_attributes(node, self.lock_attributes):
+            for child in ast.iter_child_nodes(node):
+                self._scan(child, under_lock=True,
+                           method_name=method_name, exempt=exempt)
+            return
+        if under_lock:
+            attribute = _self_attribute(node)
+            if attribute is not None and attribute.startswith("_"):
+                self.guarded.add(attribute)
+        targets: List[ast.AST] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        for target in targets:
+            for attribute, written in _written_self_attributes(target):
+                if attribute in self.lock_attributes:
+                    continue
+                if under_lock:
+                    self.guarded.add(attribute)
+                elif not exempt:
+                    self.unlocked_writes.append((attribute, written, method_name))
+        for child in ast.iter_child_nodes(node):
+            self._scan(child, under_lock=under_lock,
+                       method_name=method_name, exempt=exempt)
+
+
+@register
+class LockDiscipline(Rule):
+    id = "FL001"
+    name = "lock-discipline"
+    description = (
+        "State guarded by a class's threading.Lock/RLock (any self._x "
+        "accessed inside a 'with self._lock:' block) is written outside a "
+        "lock block.  Take the lock, or rename the method '*_locked' if the "
+        "caller holds it."
+    )
+
+    def check_module(
+        self, module: SourceModule, project: Project
+    ) -> Iterable[Finding]:
+        tree = module.tree
+        if tree is None:
+            return
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(module, node)
+
+    def _check_class(
+        self, module: SourceModule, class_node: ast.ClassDef
+    ) -> Iterable[Finding]:
+        lock_attributes = {
+            attribute
+            for body_node in ast.walk(class_node)
+            if isinstance(body_node, ast.Assign)
+            and _is_lock_factory(body_node.value)
+            for target in body_node.targets
+            for attribute in [_self_attribute(target)]
+            if attribute is not None
+        }
+        if not lock_attributes:
+            return
+        scan = _ClassScan(lock_attributes)
+        for statement in class_node.body:
+            if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scan.scan_method(statement)
+        for attribute, node, method_name in scan.unlocked_writes:
+            if attribute not in scan.guarded:
+                continue
+            yield self.finding(
+                module, node.lineno, node.col_offset + 1,
+                f"{class_node.name}.{method_name} writes lock-guarded "
+                f"'self.{attribute}' outside a 'with self."
+                f"{sorted(lock_attributes)[0]}:' block",
+            )
+
+
+_SERVING_PATHS = ("repro/server", "repro/shard", "repro/service")
+_HANDLER_PREFIXES = ("do_", "handle", "_handle", "forward", "_forward")
+
+
+@register
+class ThreadHygiene(Rule):
+    id = "FL006"
+    name = "bare-thread-hygiene"
+    description = (
+        "Request-serving code (repro.server / repro.shard / repro.service) "
+        "calls time.sleep (use an interruptible Event.wait so shutdown can "
+        "preempt the pause) or spawns a daemon threading.Thread inside an "
+        "HTTP handler / forward path (daemon threads die mid-write on "
+        "interpreter exit; spawn workers from lifecycle code)."
+    )
+
+    def check_module(
+        self, module: SourceModule, project: Project
+    ) -> Iterable[Finding]:
+        if not module.in_path(*_SERVING_PATHS):
+            return
+        tree = module.tree
+        if tree is None:
+            return
+        yield from self._scan(module, tree, in_handler=False)
+
+    def _scan(
+        self, module: SourceModule, node: ast.AST, *, in_handler: bool
+    ) -> Iterable[Finding]:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            in_handler = in_handler or node.name.startswith(_HANDLER_PREFIXES)
+        if isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "sleep"
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "time"
+            ):
+                yield self.finding(
+                    module, node.lineno, node.col_offset + 1,
+                    "time.sleep in request-serving code: poll with an "
+                    "interruptible Event.wait(timeout=...) instead",
+                )
+            if in_handler and self._is_daemon_thread(node):
+                yield self.finding(
+                    module, node.lineno, node.col_offset + 1,
+                    "daemon threading.Thread spawned inside a handler path; "
+                    "daemon threads die mid-write on interpreter exit",
+                )
+        for child in ast.iter_child_nodes(node):
+            yield from self._scan(module, child, in_handler=in_handler)
+
+    @staticmethod
+    def _is_daemon_thread(call: ast.Call) -> bool:
+        func = call.func
+        named_thread = (
+            isinstance(func, ast.Attribute) and func.attr == "Thread"
+        ) or (isinstance(func, ast.Name) and func.id == "Thread")
+        if not named_thread:
+            return False
+        return any(
+            keyword.arg == "daemon"
+            and isinstance(keyword.value, ast.Constant)
+            and keyword.value.value is True
+            for keyword in call.keywords
+        )

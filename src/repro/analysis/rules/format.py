@@ -1,0 +1,124 @@
+"""The stdlib format floor: FL101-FL105.
+
+A ``tokenize``-backed replacement for the advisory ruff-format CI step
+(ruff is not installable in the build containers, so the tree needs a
+gate that runs everywhere Python does).  Lines strictly inside multi-line
+string literals are exempt from the whitespace rules — their whitespace
+is content, not layout — which is why this is token-aware rather than a
+plain grep.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register
+from repro.analysis.source import Project, SourceModule
+
+__all__ = [
+    "TabIndentation",
+    "TrailingWhitespace",
+    "LineTooLong",
+    "MissingFinalNewline",
+    "CarriageReturn",
+]
+
+#: Matches the repo's ruff configuration (pyproject.toml line-length).
+MAX_LINE_LENGTH = 100
+
+
+@register
+class TabIndentation(Rule):
+    id = "FL101"
+    name = "tab-indentation"
+    description = "A line is indented with tab characters; use spaces."
+
+    def check_module(
+        self, module: SourceModule, project: Project
+    ) -> Iterable[Finding]:
+        interior = module.multiline_string_interior_lines()
+        for number, line in enumerate(module.lines, start=1):
+            if number in interior:
+                continue
+            indent = line[: len(line) - len(line.lstrip())]
+            if "\t" in indent:
+                yield self.finding(
+                    module, number, indent.index("\t") + 1,
+                    "tab in indentation; use spaces",
+                )
+
+
+@register
+class TrailingWhitespace(Rule):
+    id = "FL102"
+    name = "trailing-whitespace"
+    description = "A line ends with spaces or tabs (including blank lines)."
+
+    def check_module(
+        self, module: SourceModule, project: Project
+    ) -> Iterable[Finding]:
+        interior = module.multiline_string_interior_lines()
+        for number, line in enumerate(module.lines, start=1):
+            if number in interior:
+                continue
+            if line and line[-1] in " \t":
+                yield self.finding(
+                    module, number, len(line.rstrip()) + 1,
+                    "trailing whitespace",
+                )
+
+
+@register
+class LineTooLong(Rule):
+    id = "FL103"
+    name = "line-too-long"
+    description = f"A line is longer than {MAX_LINE_LENGTH} characters."
+
+    def check_module(
+        self, module: SourceModule, project: Project
+    ) -> Iterable[Finding]:
+        for number, line in enumerate(module.lines, start=1):
+            if len(line) > MAX_LINE_LENGTH:
+                yield self.finding(
+                    module, number, MAX_LINE_LENGTH + 1,
+                    f"line is {len(line)} characters "
+                    f"(limit {MAX_LINE_LENGTH})",
+                )
+
+
+@register
+class MissingFinalNewline(Rule):
+    id = "FL104"
+    name = "missing-final-newline"
+    description = "The file does not end with a newline character."
+
+    def check_module(
+        self, module: SourceModule, project: Project
+    ) -> Iterable[Finding]:
+        if module.raw and not module.raw.endswith(b"\n"):
+            yield self.finding(
+                module, max(1, len(module.lines)),
+                len(module.lines[-1]) + 1 if module.lines else 1,
+                "no newline at end of file",
+            )
+
+
+@register
+class CarriageReturn(Rule):
+    id = "FL105"
+    name = "carriage-return"
+    description = "The file contains CR or CRLF line endings; use LF."
+
+    def check_module(
+        self, module: SourceModule, project: Project
+    ) -> Iterable[Finding]:
+        if b"\r" not in module.raw:
+            return
+        for number, line in enumerate(module.raw.split(b"\n"), start=1):
+            if b"\r" in line:
+                yield self.finding(
+                    module, number, line.index(b"\r") + 1,
+                    "CR/CRLF line ending; convert the file to LF",
+                )
+                return  # one finding per file: converting fixes every line

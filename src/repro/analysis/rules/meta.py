@@ -1,0 +1,52 @@
+"""Engine-emitted pseudo-rules, registered so their ids are first-class.
+
+FL000 and FL900 findings are produced by the engine itself (suppression
+bookkeeping and parse failures), not by walking the AST — but they are
+registered here so ``fairank lint --list-rules``, the docs cross-check
+and the baseline treat them exactly like any other id.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register
+from repro.analysis.source import Project, SourceModule
+
+__all__ = ["UnusedSuppression", "SyntaxErrorRule"]
+
+
+@register
+class UnusedSuppression(Rule):
+    id = "FL000"
+    name = "unused-suppression"
+    description = (
+        "A '# fairlint: disable=FLnnn' directive that matched no finding on "
+        "its line, or a malformed fairlint directive.  Cannot itself be "
+        "suppressed; remove or fix the stale annotation."
+    )
+
+    def check_module(
+        self, module: SourceModule, project: Project
+    ) -> Iterable[Finding]:
+        return ()  # emitted by the engine's suppression bookkeeping
+
+
+@register
+class SyntaxErrorRule(Rule):
+    id = "FL900"
+    name = "syntax-error"
+    description = (
+        "The file does not parse as Python; AST rules could not run on it."
+    )
+
+    def check_module(
+        self, module: SourceModule, project: Project
+    ) -> Iterable[Finding]:
+        if module.tree is None and module.syntax_error is not None:
+            error = module.syntax_error
+            yield self.finding(
+                module, error.lineno or 1, error.offset or 1,
+                f"file does not parse: {error.msg}",
+            )

@@ -1,0 +1,58 @@
+"""FL002: hot paths must never materialise per-row Python values.
+
+The columnar data plane (PR 7) made ``repro.core`` / ``repro.scoring`` /
+``repro.metrics`` operate on ``codes()`` / ``numeric_column()`` array
+slices; ``Dataset.column()`` and ``iter_rows()`` rebuild per-row Python
+objects and silently re-introduce the exact regression class the
+million-row benchmarks guard against.  This rule keeps those APIs out of
+the hot modules entirely — presentation layers (session, roles, CLI) may
+still use them.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register
+from repro.analysis.source import Project, SourceModule
+
+__all__ = ["HotPathMaterialisation"]
+
+_HOT_PATHS = ("repro/core", "repro/scoring", "repro/metrics")
+_ROW_APIS = {
+    "iter_rows": "iterates row dicts",
+    "column": "materialises one Python value per row",
+}
+
+
+@register
+class HotPathMaterialisation(Rule):
+    id = "FL002"
+    name = "hot-path-materialisation"
+    description = (
+        "A hot-path module (repro.core / repro.scoring / repro.metrics) "
+        "calls a per-row API (Dataset.iter_rows / Dataset.column).  Use the "
+        "columnar slices — codes(), numeric_column(), value_counts() — so "
+        "million-row datasets never materialise per-row Python values."
+    )
+
+    def check_module(
+        self, module: SourceModule, project: Project
+    ) -> Iterable[Finding]:
+        if not module.in_path(*_HOT_PATHS):
+            return
+        tree = module.tree
+        if tree is None:
+            return
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr in _ROW_APIS:
+                yield self.finding(
+                    module, node.lineno, node.col_offset + 1,
+                    f".{func.attr}() {_ROW_APIS[func.attr]} on the hot path; "
+                    "use codes()/numeric_column() column slices",
+                )

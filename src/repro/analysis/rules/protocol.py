@@ -1,0 +1,245 @@
+"""Cross-check rules: FL003 canonical drift, FL004 fingerprints, FL005 metrics.
+
+These rules tie the code to its contracts:
+
+* **FL003** — every field of the wire-protocol dataclasses in
+  ``service/jobs.py`` must either be excluded from the canonical envelope
+  (``ServiceResult.canonical()`` serialises an explicit key list, so an
+  excluded field cannot drift byte-identity) or be documented in
+  ``docs/PROTOCOL.md``.  Adding a field without doing one of the two is
+  exactly how canonical-bytes drift ships.
+* **FL004** — every ``ScoringFunction`` subclass must define
+  ``fingerprint()`` (content addressing is what the cache, catalog and
+  shard router key on), and ``pickle.dumps``/``pickle.loads`` may appear
+  only in the sanctioned fallback site ``service/fingerprint.py``.
+* **FL005** — every metric family literal registered via
+  ``.counter(...)`` / ``.gauge(...)`` / ``.histogram(...)`` must match
+  ``fairank_[a-z_]+`` and be listed in ``docs/OPERATIONS.md``, so the
+  operations reference can never miss a family an operator will see.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, List, Optional, Set
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register
+from repro.analysis.source import Project, SourceModule
+
+__all__ = ["CanonicalDrift", "FingerprintCompleteness", "MetricsNaming"]
+
+
+def _documented(name: str, doc_text: str) -> bool:
+    return re.search(rf"\b{re.escape(name)}\b", doc_text) is not None
+
+
+def _is_dataclass(class_node: ast.ClassDef) -> bool:
+    for decorator in class_node.decorator_list:
+        node = decorator.func if isinstance(decorator, ast.Call) else decorator
+        if isinstance(node, ast.Attribute) and node.attr == "dataclass":
+            return True
+        if isinstance(node, ast.Name) and node.id == "dataclass":
+            return True
+    return False
+
+
+def _field_names(class_node: ast.ClassDef) -> List[ast.AnnAssign]:
+    fields = []
+    for statement in class_node.body:
+        if (
+            isinstance(statement, ast.AnnAssign)
+            and isinstance(statement.target, ast.Name)
+            and not statement.target.id.startswith("_")
+            and "ClassVar" not in ast.unparse(statement.annotation)
+        ):
+            fields.append(statement)
+    return fields
+
+
+def _canonical_keys(class_node: ast.ClassDef) -> Optional[Set[str]]:
+    """String keys ``canonical()`` serialises (dict literals + subscript
+    stores), or None when the class has no ``canonical`` method."""
+    for statement in class_node.body:
+        if (
+            isinstance(statement, ast.FunctionDef)
+            and statement.name == "canonical"
+        ):
+            keys: Set[str] = set()
+            for node in ast.walk(statement):
+                if isinstance(node, ast.Dict):
+                    keys.update(
+                        key.value
+                        for key in node.keys
+                        if isinstance(key, ast.Constant)
+                        and isinstance(key.value, str)
+                    )
+                if isinstance(node, ast.Assign):
+                    for target in node.targets:
+                        if (
+                            isinstance(target, ast.Subscript)
+                            and isinstance(target.slice, ast.Constant)
+                            and isinstance(target.slice.value, str)
+                        ):
+                            keys.add(target.slice.value)
+            return keys
+    return None
+
+
+@register
+class CanonicalDrift(Rule):
+    id = "FL003"
+    name = "canonical-bytes-drift"
+    description = (
+        "A wire-protocol dataclass field in service/jobs.py is serialised "
+        "into the canonical envelope (or is a request field) but does not "
+        "appear in docs/PROTOCOL.md.  Document it, or exclude it from "
+        "canonical() like the other serving metadata."
+    )
+
+    def check_module(
+        self, module: SourceModule, project: Project
+    ) -> Iterable[Finding]:
+        if not module.in_path("service/jobs.py"):
+            return
+        tree = module.tree
+        if tree is None:
+            return
+        protocol_doc = project.doc_text("PROTOCOL.md")
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef) or not _is_dataclass(node):
+                continue
+            if node.name.startswith("_"):
+                continue
+            is_result = _canonical_keys(node) is not None
+            is_request = node.name.endswith("Request")
+            if not (is_result or is_request):
+                continue
+            canonical = _canonical_keys(node) or set()
+            for field in _field_names(node):
+                name = field.target.id  # type: ignore[union-attr]
+                if is_result and name not in canonical:
+                    continue  # excluded from canonical(): cannot drift bytes
+                if not _documented(name, protocol_doc):
+                    where = (
+                        "the canonical() key set"
+                        if is_result
+                        else f"request dataclass {node.name}"
+                    )
+                    yield self.finding(
+                        module, field.lineno, field.col_offset + 1,
+                        f"field '{name}' is in {where} but not documented in "
+                        "docs/PROTOCOL.md; document it or exclude it from "
+                        "the canonical envelope",
+                    )
+
+
+@register
+class FingerprintCompleteness(Rule):
+    id = "FL004"
+    name = "fingerprint-completeness"
+    description = (
+        "A ScoringFunction subclass does not define fingerprint() (the "
+        "service would silently fall back to pickle hashing), or pickle is "
+        "used outside the sanctioned fallback site service/fingerprint.py."
+    )
+
+    def check_module(
+        self, module: SourceModule, project: Project
+    ) -> Iterable[Finding]:
+        tree = module.tree
+        if tree is None:
+            return
+        sanctioned = module.in_path("service/fingerprint.py")
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(module, node)
+            if sanctioned or not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in ("dumps", "loads", "dump", "load")
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "pickle"
+            ):
+                yield self.finding(
+                    module, node.lineno, node.col_offset + 1,
+                    f"pickle.{func.attr} outside service/fingerprint.py; "
+                    "content addressing must go through the structured "
+                    "fingerprint() protocol (pickle bytes are not stable "
+                    "across versions)",
+                )
+
+    def _check_class(
+        self, module: SourceModule, class_node: ast.ClassDef
+    ) -> Iterable[Finding]:
+        subclasses_scorer = any(
+            (isinstance(base, ast.Name) and base.id == "ScoringFunction")
+            or (isinstance(base, ast.Attribute) and base.attr == "ScoringFunction")
+            for base in class_node.bases
+        )
+        if not subclasses_scorer:
+            return
+        defines_fingerprint = any(
+            isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and statement.name == "fingerprint"
+            for statement in class_node.body
+        )
+        if not defines_fingerprint:
+            yield self.finding(
+                module, class_node.lineno, class_node.col_offset + 1,
+                f"ScoringFunction subclass {class_node.name} does not define "
+                "fingerprint(); the service would fall back to pickle "
+                "hashing, which is not stable across Python versions",
+            )
+
+
+_FAMILY_PATTERN = re.compile(r"^fairank_[a-z_]+$")
+_REGISTRY_METHODS = ("counter", "gauge", "histogram")
+
+
+@register
+class MetricsNaming(Rule):
+    id = "FL005"
+    name = "metrics-naming"
+    description = (
+        "A metric family literal registered via .counter()/.gauge()/"
+        ".histogram() does not match fairank_[a-z_]+ or is missing from the "
+        "family reference in docs/OPERATIONS.md."
+    )
+
+    def check_module(
+        self, module: SourceModule, project: Project
+    ) -> Iterable[Finding]:
+        tree = module.tree
+        if tree is None:
+            return
+        operations_doc = project.doc_text("OPERATIONS.md")
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (
+                isinstance(func, ast.Attribute)
+                and func.attr in _REGISTRY_METHODS
+                and node.args
+            ):
+                continue
+            first = node.args[0]
+            if not (isinstance(first, ast.Constant) and isinstance(first.value, str)):
+                continue  # dynamically-built names cannot be checked here
+            family = first.value
+            if not _FAMILY_PATTERN.match(family):
+                yield self.finding(
+                    module, first.lineno, first.col_offset + 1,
+                    f"metric family '{family}' does not match the "
+                    "fairank_[a-z_]+ naming convention",
+                )
+            elif not _documented(family, operations_doc):
+                yield self.finding(
+                    module, first.lineno, first.col_offset + 1,
+                    f"metric family '{family}' is not documented in "
+                    "docs/OPERATIONS.md's family reference",
+                )

@@ -1,0 +1,66 @@
+"""FL007: swallowed exceptions.
+
+A bare ``except:`` (catches ``SystemExit`` / ``KeyboardInterrupt``) is
+always flagged.  Any handler — regardless of exception type — whose whole
+body is ``pass`` / ``...`` / ``continue`` swallows the failure without a
+trace and is flagged too; the repo's sanctioned swallow sites (reaper and
+drain loops that genuinely retry) carry a justified
+``# fairlint: disable=FL007 -- reason`` annotation instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register
+from repro.analysis.source import Project, SourceModule
+
+__all__ = ["SwallowedException"]
+
+
+def _is_noop(statement: ast.stmt) -> bool:
+    if isinstance(statement, (ast.Pass, ast.Continue)):
+        return True
+    return (
+        isinstance(statement, ast.Expr)
+        and isinstance(statement.value, ast.Constant)
+        and statement.value.value is Ellipsis
+    )
+
+
+@register
+class SwallowedException(Rule):
+    id = "FL007"
+    name = "swallowed-exception"
+    description = (
+        "A bare 'except:' clause, or an exception handler whose entire body "
+        "is pass/.../continue.  Log, re-raise, or annotate a genuine "
+        "poll-and-retry site with a justified '# fairlint: disable=FL007'."
+    )
+
+    def check_module(
+        self, module: SourceModule, project: Project
+    ) -> Iterable[Finding]:
+        tree = module.tree
+        if tree is None:
+            return
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    module, node.lineno, node.col_offset + 1,
+                    "bare 'except:' also catches SystemExit/KeyboardInterrupt; "
+                    "name the exceptions",
+                )
+                continue
+            if all(_is_noop(statement) for statement in node.body):
+                caught = ast.unparse(node.type)
+                yield self.finding(
+                    module, node.lineno, node.col_offset + 1,
+                    f"'except {caught}:' swallows the failure without a "
+                    "trace (body is only pass); log, re-raise, or justify "
+                    "with a disable annotation",
+                )

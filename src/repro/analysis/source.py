@@ -1,0 +1,127 @@
+"""Parsed source artefacts handed to rules.
+
+A :class:`SourceModule` wraps one Python file: raw bytes, decoded text,
+physical lines, and lazily-built ``ast`` / ``tokenize`` views (a file that
+does not parse still reaches the text-level format rules).  A
+:class:`Project` wraps the repository root and caches the documentation
+files that cross-checking rules (FL003, FL005) read.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import tokenize
+from pathlib import Path
+from typing import List, Optional, Set, Tuple
+
+__all__ = ["Project", "SourceModule"]
+
+_MISSING = object()
+
+
+class SourceModule:
+    """One Python source file plus its parsed views.
+
+    ``rel`` is the POSIX repository-relative path; rules scope themselves
+    by matching against it (e.g. ``module.in_path("repro/core")``), so the
+    same rule pack works from the repo root, a fixture tree, or a tmpdir.
+    """
+
+    def __init__(self, path: Path, rel: str, raw: Optional[bytes] = None) -> None:
+        self.path = path
+        self.rel = rel.replace("\\", "/")
+        self.raw = path.read_bytes() if raw is None else raw
+        self.text = self.raw.decode("utf-8", errors="replace")
+        self.lines: List[str] = self.text.splitlines()
+        self._tree: object = _MISSING
+        self._tokens: object = _MISSING
+        self.syntax_error: Optional[SyntaxError] = None
+
+    def in_path(self, *fragments: str) -> bool:
+        """True when ``rel`` lives under any of the given path fragments."""
+        probe = "/" + self.rel
+        return any(
+            probe.endswith("/" + fragment.strip("/"))
+            or ("/" + fragment.strip("/") + "/") in probe
+            for fragment in fragments
+        )
+
+    @property
+    def tree(self) -> Optional[ast.AST]:
+        """The module AST, or None when the file has a syntax error."""
+        if self._tree is _MISSING:
+            try:
+                self._tree = ast.parse(self.text, filename=self.rel)
+            except SyntaxError as error:
+                self.syntax_error = error
+                self._tree = None
+        return self._tree  # type: ignore[return-value]
+
+    @property
+    def tokens(self) -> List[tokenize.TokenInfo]:
+        """The token stream (empty when the file cannot be tokenized)."""
+        if self._tokens is _MISSING:
+            try:
+                self._tokens = list(
+                    tokenize.generate_tokens(io.StringIO(self.text).readline)
+                )
+            except (tokenize.TokenError, SyntaxError, IndentationError):
+                self._tokens = []
+        return self._tokens  # type: ignore[return-value]
+
+    def multiline_string_interior_lines(self) -> Set[int]:
+        """Physical lines strictly inside multi-line string literals.
+
+        Format rules exempt these: whitespace inside a triple-quoted
+        string is literal content, not layout.
+        """
+        interior: Set[int] = set()
+        for token in self.tokens:
+            if token.type == tokenize.STRING and token.end[0] > token.start[0]:
+                interior.update(range(token.start[0] + 1, token.end[0] + 1))
+        return interior
+
+
+class Project:
+    """Repository-level context shared by every rule invocation."""
+
+    def __init__(self, root: Path) -> None:
+        self.root = Path(root)
+        self._docs: dict = {}
+
+    def doc_text(self, name: str) -> str:
+        """The text of ``docs/<name>`` ('' when the file does not exist)."""
+        if name not in self._docs:
+            path = self.root / "docs" / name
+            self._docs[name] = (
+                path.read_text(encoding="utf-8") if path.is_file() else ""
+            )
+        return self._docs[name]
+
+
+def load_module(path: Path, root: Path) -> SourceModule:
+    """Build a :class:`SourceModule` with ``rel`` computed against ``root``."""
+    try:
+        rel = path.resolve().relative_to(Path(root).resolve()).as_posix()
+    except ValueError:
+        rel = path.as_posix()
+    return SourceModule(path, rel)
+
+
+def collect_files(paths: Tuple[Path, ...]) -> List[Path]:
+    """Expand files/directories into a sorted, de-duplicated ``.py`` list."""
+    seen = {}
+    for entry in paths:
+        if entry.is_dir():
+            candidates = sorted(entry.rglob("*.py"))
+        else:
+            candidates = [entry]
+        for candidate in candidates:
+            if "__pycache__" in candidate.parts:
+                continue
+            if any(part.startswith(".") and part not in (".", "..")
+                   for part in candidate.parts):
+                continue
+            seen[candidate.resolve()] = candidate
+    return sorted(seen.values())

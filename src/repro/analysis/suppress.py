@@ -1,0 +1,109 @@
+"""Inline suppressions: ``# fairlint: disable=FL001[,FL002] [-- reason]``.
+
+Suppressions are parsed from *comment tokens only* (never string
+literals), apply to the physical line they sit on, and are tracked: a
+disable that never matched a finding is itself reported as **FL000
+unused-suppression**, so stale annotations cannot accumulate.
+"""
+
+from __future__ import annotations
+
+import re
+import tokenize
+from typing import Dict, List, Set, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.source import SourceModule
+
+__all__ = ["Suppressions", "parse_suppressions"]
+
+#: Everything after ``disable=``: comma-separated rule ids, then an
+#: optional ``-- reason`` tail that is ignored (but encouraged).
+_DIRECTIVE = re.compile(
+    r"#\s*fairlint:\s*disable=\s*(?P<ids>FL\d{3}(?:\s*,\s*FL\d{3})*)"
+)
+
+#: A comment that *looks* like a fairlint directive but does not parse —
+#: surfaced as malformed instead of silently ignored.
+_NEAR_MISS = re.compile(r"#\s*fairlint\b")
+
+
+class Suppressions:
+    """Per-file map of ``line -> suppressed rule ids`` with usage tracking."""
+
+    def __init__(self) -> None:
+        self._by_line: Dict[int, Set[str]] = {}
+        self._used: Set[Tuple[int, str]] = set()
+        self.malformed: List[Tuple[int, int, str]] = []
+
+    def add(self, line: int, rule_ids: Set[str]) -> None:
+        self._by_line.setdefault(line, set()).update(rule_ids)
+
+    def suppresses(self, line: int, rule_id: str) -> bool:
+        """True (and marks the directive used) when ``rule_id`` is disabled
+        on ``line``.  FL000 itself can never be suppressed."""
+        if rule_id == "FL000":
+            return False
+        if rule_id in self._by_line.get(line, ()):
+            self._used.add((line, rule_id))
+            return True
+        return False
+
+    def unused(self) -> List[Tuple[int, str]]:
+        """Every ``(line, rule_id)`` directive that matched no finding."""
+        out = [
+            (line, rule_id)
+            for line, rule_ids in self._by_line.items()
+            for rule_id in sorted(rule_ids)
+            if (line, rule_id) not in self._used
+        ]
+        return sorted(out)
+
+    def unused_findings(self, module: SourceModule) -> List[Finding]:
+        findings = [
+            Finding(
+                path=module.rel,
+                line=line,
+                col=1,
+                rule="FL000",
+                message=f"unused suppression of {rule_id}: no {rule_id} finding "
+                        "on this line (remove the stale disable)",
+            )
+            for line, rule_id in self.unused()
+        ]
+        findings.extend(
+            Finding(
+                path=module.rel,
+                line=line,
+                col=col,
+                rule="FL000",
+                message=f"malformed fairlint directive {comment!r} "
+                        "(expected '# fairlint: disable=FLnnn[,FLnnn] [-- reason]')",
+            )
+            for line, col, comment in self.malformed
+        )
+        return findings
+
+
+def parse_suppressions(module: SourceModule) -> Suppressions:
+    """Extract the file's directives from its comment tokens.
+
+    An *inline* directive (trailing a statement) suppresses its own line; a
+    *standalone* comment-line directive suppresses the next line, so long
+    justifications can sit above the code they annotate.
+    """
+    suppressions = Suppressions()
+    for token in module.tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _DIRECTIVE.search(token.string)
+        if match:
+            rule_ids = {part.strip() for part in match.group("ids").split(",")}
+            line = token.start[0]
+            before = module.lines[line - 1][: token.start[1]]
+            suppressions.add(line if before.strip() else line + 1, rule_ids)
+        elif _NEAR_MISS.search(token.string):
+            suppressions.malformed.append(
+                (token.start[0], token.start[1] + 1, token.string.strip())
+            )
+    return suppressions

@@ -150,6 +150,31 @@ def build_parser() -> argparse.ArgumentParser:
              "(recommended beyond ~100k rows)")
     _add_registry_arguments(catalog_parser)
 
+    # -- lint -------------------------------------------------------------------
+    lint_parser = subparsers.add_parser(
+        "lint",
+        help="run the repo-aware static analysis rule pack (see docs/ANALYSIS.md)",
+    )
+    lint_parser.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files or directories to analyse "
+             "(default: src scripts benchmarks examples)")
+    lint_parser.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="output_format",
+        help="findings output: one 'file:line:col RULEID message' line each "
+             "(text) or a machine-readable report (json)")
+    lint_parser.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="baseline file masking tolerated legacy findings "
+             "(default: .fairlint-baseline.json when it exists)")
+    lint_parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline to exactly mask the current findings "
+             "(the ratchet: run after fixing legacy violations)")
+    lint_parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the registered rule catalogue and exit")
+
     # -- serve ------------------------------------------------------------------
     http_parser = subparsers.add_parser(
         "serve",
@@ -467,6 +492,9 @@ def _install_shutdown_handlers(server) -> "threading.Event":
     for signum in (signal.SIGINT, signal.SIGTERM):
         try:
             signal.signal(signum, _handle)
+        # Signal handlers can only be installed on the main thread; serving
+        # from a helper thread (tests) simply runs without them.
+        # fairlint: disable=FL007 -- intentional no-handler fallback
         except ValueError:  # pragma: no cover - only hit off the main thread
             pass
     return stop_requested
@@ -601,6 +629,55 @@ def _request_references(request):
     return request_references(request.to_json())
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Run the static analysis rule pack; exit 1 on any gate failure."""
+    from pathlib import Path
+
+    from repro.analysis import (
+        DEFAULT_BASELINE_NAME,
+        DEFAULT_TARGETS,
+        Baseline,
+        all_rules,
+        run_analysis,
+        update_baseline,
+    )
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.id} {rule.name} [{rule.severity}]")
+            print(f"    {rule.description}")
+        return 0
+
+    root = Path.cwd()
+    targets = [Path(path) for path in args.paths] if args.paths else [
+        root / target for target in DEFAULT_TARGETS if (root / target).exists()
+    ]
+    missing = [str(target) for target in targets if not target.exists()]
+    if missing:
+        raise FaiRankError(f"lint paths do not exist: {', '.join(missing)}")
+
+    baseline_path = Path(args.baseline) if args.baseline else root / DEFAULT_BASELINE_NAME
+    baseline = None
+    if baseline_path.is_file():
+        try:
+            baseline = Baseline.load(baseline_path)
+        except (ValueError, OSError) as error:
+            raise FaiRankError(f"cannot load baseline: {error}") from None
+    elif args.baseline and not args.update_baseline:
+        raise FaiRankError(f"baseline file {baseline_path} does not exist")
+
+    report = run_analysis(targets, root=root, baseline=baseline)
+    if args.update_baseline:
+        updated = update_baseline(report, baseline_path)
+        print(
+            f"wrote {baseline_path} masking {updated.total} finding(s) "
+            f"in {len(updated.entries)} file(s)"
+        )
+        return 0
+    print(report.render(args.output_format))
+    return 1 if report.failed else 0
+
+
 _COMMANDS = {
     "table1": _cmd_table1,
     "quantify": _cmd_quantify,
@@ -609,6 +686,7 @@ _COMMANDS = {
     "serve-batch": _cmd_serve_batch,
     "catalog": _cmd_catalog,
     "serve": _cmd_serve,
+    "lint": _cmd_lint,
 }
 
 

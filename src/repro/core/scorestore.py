@@ -510,7 +510,7 @@ class ScoreStore:
                 if cand_attr == attr.name and values == ordered:
                     for child_entry, histogram in zip(new_entries, batch):
                         child_entry.histograms.setdefault(binning, histogram)
-            self._evict_over_bound()
+            self._evict_over_bound_locked()
         return tuple(children)
 
     def _attribute_codes(
@@ -625,12 +625,12 @@ class ScoreStore:
                     self._fallback_scorings += 1
                 else:
                     self._sliced_partitions += 1
-                self._evict_over_bound()
+                self._evict_over_bound_locked()
             else:
                 self._partitions.move_to_end(key)
             return entry
 
-    def _evict_over_bound(self) -> None:
+    def _evict_over_bound_locked(self) -> None:
         if self.max_partitions is not None:
             while len(self._partitions) > self.max_partitions:
                 self._partitions.popitem(last=False)

@@ -237,10 +237,12 @@ class MetricsRegistry:
             return metric
 
     def counter(self, name: str, help_text: str = "") -> Counter:
-        return self._get_or_create(name, lambda: Counter(name, help_text), "counter")  # type: ignore[return-value]
+        metric = self._get_or_create(name, lambda: Counter(name, help_text), "counter")
+        return metric  # type: ignore[return-value]
 
     def gauge(self, name: str, help_text: str = "") -> Gauge:
-        return self._get_or_create(name, lambda: Gauge(name, help_text), "gauge")  # type: ignore[return-value]
+        metric = self._get_or_create(name, lambda: Gauge(name, help_text), "gauge")
+        return metric  # type: ignore[return-value]
 
     def histogram(
         self,

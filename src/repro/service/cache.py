@@ -125,16 +125,16 @@ class LRUCache:
                 self._total_cost -= old_cost
             self._entries[key] = (value, cost)
             self._total_cost += cost
-            self._evict_over_budget()
+            self._evict_over_budget_locked()
 
-    def _evict_over_budget(self) -> None:
+    def _evict_over_budget_locked(self) -> None:
         while len(self._entries) > self.capacity:
-            self._evict_lru()
+            self._evict_lru_locked()
         if self.max_cost is not None:
             while self._total_cost > self.max_cost and len(self._entries) > 1:
-                self._evict_lru()
+                self._evict_lru_locked()
 
-    def _evict_lru(self) -> None:
+    def _evict_lru_locked(self) -> None:
         _, (_, cost) = self._entries.popitem(last=False)
         self._total_cost -= cost
         self._evictions += 1

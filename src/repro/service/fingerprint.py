@@ -140,6 +140,8 @@ def fingerprint_function(function: ScoringFunction) -> str:
     """
     try:
         return str(function.fingerprint())
+    # No structured fingerprint: fall through to the pickle hash below.
+    # fairlint: disable=FL007 -- documented fallback chain
     except NotImplementedError:
         pass
     try:

@@ -90,6 +90,8 @@ def _copy_json(value):
     """
     try:
         return marshal.loads(marshal.dumps(value))
+    # marshal cannot serialise this tree: the recursive copy below handles it.
+    # fairlint: disable=FL007 -- documented fallback chain
     except ValueError:
         pass
     if isinstance(value, dict):

@@ -410,9 +410,13 @@ class WorkerPool:
                     payload = json.loads(response.read())
                 if payload.get("status") == "ok":
                     return
+            # Readiness poll: the worker is still booting, so refused
+            # connections / partial JSON are the expected steady state
+            # until the boot deadline fires.
+            # fairlint: disable=FL007 -- boot-poll retry; deadline-bounded
             except (OSError, ValueError):
                 pass
-            time.sleep(0.05)
+            self._stopping.wait(timeout=0.05)
         raise self._boot_failure(
             slot, process, pump,
             f"/v2/health never answered ok within {self.boot_timeout_s:.0f}s",

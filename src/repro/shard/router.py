@@ -315,6 +315,9 @@ class ShardRouter(V2ServerBase):
                     f"{self.retry_window_s:.0f}s ({failures} failed forward(s), "
                     f"{self.pool.alive_count}/{self.pool.size} workers alive)"
                 )
+            # Retry pacing between fleet sweeps; bounded by the retry-window
+            # deadline above and holds no lock while paused.
+            # fairlint: disable=FL006 -- deadline-bounded retry pacing
             time.sleep(0.05)
 
     @staticmethod

@@ -1,10 +1,13 @@
 """The docs tree and its CI gate (``scripts/check_docs.py``).
 
-The gate promises two invariants: every internal link in ``docs/*.md`` and
-``README.md`` resolves to a real file, and every ``--flag`` the docs name
-exists in the ``fairank`` CLI parser.  These tests run the gate exactly as
-CI does (a subprocess from the repository root), check the negative paths
-on synthetic broken docs, and pin the docs tree's required files.
+The gate promises four invariants: every internal link in ``docs/*.md``
+and ``README.md`` resolves to a real file, every ``#fragment`` in those
+links names a real heading in its target, every ``--flag`` the docs name
+exists in the ``fairank`` CLI parser, and every ``FLnnn`` rule id the
+docs mention exists in the ``repro.analysis`` registry.  These tests run
+the gate exactly as CI does (a subprocess from the repository root),
+check the negative paths on synthetic broken docs, and pin the docs
+tree's required files.
 """
 
 from __future__ import annotations
@@ -30,8 +33,8 @@ def _run_gate(*args: str) -> subprocess.CompletedProcess:
 
 
 def test_docs_tree_exists():
-    """The documented docs tree ships its three core files."""
-    for name in ("ARCHITECTURE.md", "PROTOCOL.md", "OPERATIONS.md"):
+    """The documented docs tree ships its four core files."""
+    for name in ("ARCHITECTURE.md", "PROTOCOL.md", "OPERATIONS.md", "ANALYSIS.md"):
         assert (DOCS / name).is_file(), f"docs/{name} is missing"
 
 
@@ -60,6 +63,63 @@ def test_docs_gate_rejects_unknown_flag(tmp_path):
     completed = _run_gate("--root", str(tmp_path))
     assert completed.returncode == 1
     assert "--does-not-exist" in completed.stderr
+
+
+def test_docs_gate_rejects_dead_anchor(tmp_path):
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "docs" / "PAGE.md").write_text(
+        "# Real heading\n\nsee [elsewhere](#no-such-section)\n",
+        encoding="utf-8",
+    )
+    completed = _run_gate("--root", str(tmp_path))
+    assert completed.returncode == 1
+    assert "dead anchor -> #no-such-section" in completed.stderr
+
+
+def test_docs_gate_resolves_cross_file_anchor(tmp_path):
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "docs" / "A.md").write_text(
+        "see [the B section](B.md#the-target-section)\n", encoding="utf-8"
+    )
+    (tmp_path / "docs" / "B.md").write_text(
+        "# Intro\n\n## The `target` section\n", encoding="utf-8"
+    )
+    completed = _run_gate("--root", str(tmp_path))
+    assert completed.returncode == 0, completed.stderr
+
+
+def test_docs_gate_ignores_headings_inside_code_fences(tmp_path):
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "docs" / "A.md").write_text(
+        "see [fake](#not-a-heading)\n\n```text\n# not a heading\n```\n",
+        encoding="utf-8",
+    )
+    completed = _run_gate("--root", str(tmp_path))
+    assert completed.returncode == 1
+    assert "dead anchor" in completed.stderr
+
+
+def test_docs_gate_rejects_unknown_rule_id(tmp_path):
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "docs" / "BAD.md").write_text(
+        "rule FL666 does not exist\n", encoding="utf-8"
+    )
+    completed = _run_gate("--root", str(tmp_path))
+    assert completed.returncode == 1
+    assert "FL666" in completed.stderr
+    assert "not in the repro.analysis registry" in completed.stderr
+
+
+def test_analysis_doc_catalogues_every_rule():
+    """docs/ANALYSIS.md is the catalogue: every registered id appears."""
+    import sys
+
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.analysis import rule_ids
+
+    text = (DOCS / "ANALYSIS.md").read_text(encoding="utf-8")
+    missing = [rule_id for rule_id in rule_ids() if rule_id not in text]
+    assert not missing, f"docs/ANALYSIS.md never mentions: {missing}"
 
 
 def test_docs_gate_requires_docs_tree(tmp_path):
