@@ -154,13 +154,16 @@ def build_snapshot(path: Path) -> None:
     print(f"[e2e] snapshot built: {path} ({path.stat().st_size} bytes)")
 
 
-def boot_server(snapshot: Path, workers: int) -> "tuple[subprocess.Popen, int]":
+def boot_server(
+    snapshot: Path, workers: int, warm_dir: "Path | None" = None
+) -> "tuple[subprocess.Popen, int]":
     process = subprocess.Popen(
         [
             sys.executable, "-m", "repro.cli", "serve",
             "--catalog", str(snapshot), "--port", "0",
             "--workers", str(workers),
-        ],
+        ]
+        + (["--warm-dir", str(warm_dir)] if warm_dir is not None else []),
         stdout=subprocess.PIPE,
         stderr=subprocess.STDOUT,
         text=True,
@@ -218,6 +221,86 @@ def scenario_calls(client):
             ),
         ),
     ]
+
+
+def shutdown_server(process: subprocess.Popen, context: str) -> int:
+    """SIGTERM the server and fail unless it drains and exits 0."""
+    process.terminate()
+    try:
+        exit_code = process.wait(timeout=30)
+    except subprocess.TimeoutExpired:
+        process.kill()
+        print(f"[e2e] FAIL: {context} did not exit after SIGTERM")
+        return 1
+    if exit_code != 0:
+        print(f"[e2e] FAIL: {context} exited {exit_code} after SIGTERM "
+              "(graceful shutdown should exit 0)")
+        return 1
+    return 0
+
+
+def check_warm_restart(
+    snapshot: Path, workers: int, reference: FairnessClient, workdir: str
+) -> int:
+    """Restart leg: a SIGTERM'd --warm-dir fleet must reboot hot.
+
+    Life 1 boots cold with ``--warm-dir`` and warms one (dataset, function)
+    pair; the graceful shutdown saves warm bundles.  Life 2 reboots from
+    those bundles and must serve the same request byte-identically *from the
+    reloaded cache*, with the store pool populated and zero scoring passes.
+    """
+    warm_dir = Path(workdir) / f"warm-{workers}"
+    expected = reference.quantify("table1", "table1-f").canonical()
+    failures = 0
+
+    process, port = boot_server(snapshot, workers, warm_dir=warm_dir)
+    try:
+        remote = HTTPFairnessClient(f"http://127.0.0.1:{port}", timeout=60.0)
+        if remote.quantify("table1", "table1-f").canonical() != expected:
+            failures += 1
+            print("[e2e] FAIL: warm leg life 1 diverged from in-process")
+    finally:
+        failures += shutdown_server(process, "warm leg life 1")
+    bundles = list(warm_dir.glob("**/manifest.json"))
+    if not bundles:
+        failures += 1
+        print(f"[e2e] FAIL: graceful shutdown saved no warm bundle in {warm_dir}")
+        return failures
+
+    process, port = boot_server(snapshot, workers, warm_dir=warm_dir)
+    try:
+        remote = HTTPFairnessClient(f"http://127.0.0.1:{port}", timeout=60.0)
+        result = remote.quantify("table1", "table1-f")
+        if result.canonical() != expected:
+            failures += 1
+            print("[e2e] FAIL: restarted fleet diverged from in-process")
+        if not result.cached:
+            failures += 1
+            print("[e2e] FAIL: restarted fleet did not serve from the "
+                  "reloaded result cache")
+        health = remote.health()
+        if workers > 1:
+            pools = [
+                entry["store_pool"] for entry in health["workers"]["health"]
+            ]
+        else:
+            pools = [health["store_pool"]]
+        stores = sum(stats["stores"] for stats in pools)
+        passes = sum(stats["scoring_passes"] for stats in pools)
+        if stores < 1:
+            failures += 1
+            print("[e2e] FAIL: restarted fleet's store pool is empty")
+        if passes != 0:
+            failures += 1
+            print(f"[e2e] FAIL: restarted fleet re-scored ({passes} pass(es)) "
+                  "instead of loading the warm vectors")
+        if not failures:
+            print(f"[e2e] warm restart: {len(bundles)} bundle(s) reloaded, "
+                  f"first request cached + byte-identical, {stores} store(s) "
+                  "warm with 0 scoring passes")
+    finally:
+        failures += shutdown_server(process, "warm leg life 2")
+    return failures
 
 
 def main() -> int:
@@ -283,17 +366,11 @@ def main() -> int:
             failures += check_metrics(port, arguments.workers)
             failures += check_trace(remote, arguments.workers)
         finally:
-            process.terminate()
-            try:
-                exit_code = process.wait(timeout=30)
-                if exit_code != 0:
-                    failures += 1
-                    print(f"[e2e] FAIL: server exited {exit_code} after SIGTERM "
-                          "(graceful shutdown should exit 0)")
-            except subprocess.TimeoutExpired:
-                process.kill()
-                failures += 1
-                print("[e2e] FAIL: server did not exit after SIGTERM")
+            failures += shutdown_server(process, "server")
+
+        failures += check_warm_restart(
+            snapshot, arguments.workers, reference, workdir
+        )
 
         if failures:
             print(f"[e2e] FAILED with {failures} mismatch(es)")

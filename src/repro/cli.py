@@ -202,6 +202,12 @@ def build_parser() -> argparse.ArgumentParser:
     http_parser.add_argument("--slow-ms", type=float, default=None,
                              help="log any request at or above this many "
                                   "milliseconds even without --verbose")
+    http_parser.add_argument(
+        "--warm-dir", default=None, metavar="PATH", dest="warm_dir",
+        help="warm-start bundle directory: reload hot state "
+             "(materialized score stores, cached results) saved by the "
+             "previous graceful shutdown, and save it again on this one; "
+             "stale or foreign bundles are skipped and computed cold")
     _add_registry_arguments(http_parser)
 
     return parser
@@ -523,6 +529,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.server import FairnessHTTPServer
 
     service = _serve_service(args)
+    if args.warm_dir:
+        from pathlib import Path
+
+        # Load after the catalogue is populated: warm components are
+        # verified against the live resources by content fingerprint.
+        service.warm_dir = Path(args.warm_dir)
+        service.load_warm_state()
     server = FairnessHTTPServer(
         service,
         host=args.host,
@@ -543,6 +556,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         # server_close() drains: it joins in-flight handler threads, so a
         # SIGTERM'd server finishes the responses it already accepted.
         server.server_close()
+    # After the drain, so the bundle includes the final requests' state.
+    service.save_warm_state()
     print("shutting down")
     return 0
 
@@ -589,6 +604,7 @@ def _cmd_serve_sharded(args: argparse.Namespace) -> int:
         pool = WorkerPool(
             snapshot_path, args.workers, host=args.host,
             worker_arguments=worker_arguments,
+            warm_dir=Path(args.warm_dir) if args.warm_dir else None,
         )
         pool.start()
         try:

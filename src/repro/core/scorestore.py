@@ -41,15 +41,18 @@ service batch executor) can share one store.
 
 from __future__ import annotations
 
+import json
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, Iterator, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.data.dataset import Dataset, Individual, order_values
 from repro.data.schema import Attribute
+from repro.errors import FaiRankError, WarmStartError
 from repro.metrics.histogram import Binning, Histogram, build_histogram
 from repro.obs.trace import span as trace_span
 from repro.scoring.base import ScoringFunction, frozen_scores
@@ -57,7 +60,13 @@ from repro.scoring.base import ScoringFunction, frozen_scores
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from repro.core.partition import Partition
 
-__all__ = ["ScoreStore", "ScoreStoreStats"]
+__all__ = ["STORE_BUNDLE_FORMAT", "STORE_BUNDLE_VERSION", "ScoreStore", "ScoreStoreStats"]
+
+#: Identifies a persisted score-store bundle (arbitrary JSON is rejected loudly).
+STORE_BUNDLE_FORMAT = "fairank-scorestore"
+
+#: The bundle schema version this build writes (and the only one it reads).
+STORE_BUNDLE_VERSION = 1
 
 #: Default bound on memoised partitions per store.  A QUANTIFY search over a
 #: 10k-row population touches a couple of thousand candidate partitions; the
@@ -173,6 +182,55 @@ class _Entry:
         # binning -> this partition's slice of the per-row bin codes, shared
         # by every candidate attribute evaluated at this node.
         self.bin_slices: Dict[Binning, np.ndarray] = {}
+
+
+def _binning_to_json(binning: Binning) -> Dict[str, object]:
+    """A Binning as its (low, high, bins) triple — exact: JSON round-trips floats."""
+    return {"low": binning.low, "high": binning.high, "bins": binning.bins}
+
+
+def _binning_from_json(payload: Mapping[str, object]) -> Binning:
+    return Binning(
+        low=float(payload["low"]),  # type: ignore[arg-type]
+        high=float(payload["high"]),  # type: ignore[arg-type]
+        bins=int(payload["bins"]),  # type: ignore[arg-type]
+    )
+
+
+def _bundle_file(directory: Path, name: object) -> Path:
+    """Resolve a manifest-referenced file name, refusing path escapes."""
+    file_name = str(name)
+    if Path(file_name).name != file_name:
+        raise WarmStartError(
+            f"score-store bundle references a non-local file {file_name!r}",
+            reason="manifest",
+        )
+    return directory / file_name
+
+
+def _read_array(
+    directory: Path, name: object, dtype: type, rows: Optional[int]
+) -> np.ndarray:
+    """Read one raw ``.bin`` buffer, validating its exact element count.
+
+    ``np.fromfile`` happily returns a short array for a truncated file, so
+    the element count is checked explicitly — a partial ``.bin`` must fail
+    the load (reason ``truncated``), never silently serve fewer rows.
+    """
+    path = _bundle_file(directory, name)
+    try:
+        data = np.fromfile(path, dtype=dtype)
+    except OSError as error:
+        raise WarmStartError(
+            f"cannot read score-store buffer {path.name}: {error}", reason="truncated"
+        ) from None
+    if rows is not None and data.size != rows:
+        raise WarmStartError(
+            f"score-store buffer {path.name} holds {data.size} values, "
+            f"expected {rows} (truncated or foreign bundle)",
+            reason="truncated",
+        )
+    return data
 
 
 class ScoreStore:
@@ -635,6 +693,239 @@ class ScoreStore:
             while len(self._partitions) > self.max_partitions:
                 self._partitions.popitem(last=False)
                 self._evictions += 1
+
+    # -- persistence (warm-start bundles) ---------------------------------------
+
+    @property
+    def materialized(self) -> bool:
+        """Whether the score vector has been computed (the store is warm)."""
+        return self._vector is not None
+
+    def save(self, directory: Union[str, Path]) -> Dict[str, object]:
+        """Persist the store's hot state as raw ``.bin`` buffers + a manifest.
+
+        Written (the raw-buffer-plus-manifest idiom of
+        :class:`~repro.data.columns.ColumnStore`): the materialized score
+        vector, the precomputed per-binning bin codes, and the histogram
+        memo — partition keys, row indices and counts — for every sliced
+        partition that has memoised histograms.  The manifest records the
+        (dataset, function) content fingerprints, so a later
+        :meth:`load` can verify the bundle still describes the live catalog
+        content.  The manifest is written *last*: an interrupted save leaves
+        no manifest, which a loader treats as "no bundle", never as state.
+
+        Raises :class:`~repro.errors.WarmStartError` when the vector was
+        never materialized (there is nothing warm to persist).
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        from repro.service.fingerprint import fingerprint_dataset, fingerprint_function
+
+        with self._lock:
+            vector = self._vector
+            if vector is None:
+                raise WarmStartError(
+                    "cannot save a score store before its vector is materialized",
+                    reason="cold",
+                )
+            bin_codes = list(self._bin_codes.items())
+            partitions = [
+                (key, entry.indices, dict(entry.histograms))
+                for key, entry in self._partitions.items()
+                if entry.indices is not None and entry.histograms
+            ]
+        # File writes happen outside the lock: the captured arrays are
+        # immutable once published, so serving continues while saving.
+        np.ascontiguousarray(vector, dtype=np.float64).tofile(directory / "vector.bin")
+        codes_manifest: List[Dict[str, object]] = []
+        for index, (binning, codes) in enumerate(bin_codes):
+            file_name = f"bins_{index}.bin"
+            np.ascontiguousarray(codes, dtype=np.int64).tofile(directory / file_name)
+            codes_manifest.append(
+                {"binning": _binning_to_json(binning), "file": file_name}
+            )
+        memo_manifest: List[Dict[str, object]] = []
+        for index, (key, indices, histograms) in enumerate(partitions):
+            entry_json = {
+                "key": [[attribute, value] for attribute, value in key],
+                "indices": f"part_{index}.bin",
+                "histograms": [
+                    {"binning": _binning_to_json(binning), "counts": list(h.counts)}
+                    for binning, h in histograms.items()
+                ],
+            }
+            try:
+                json.dumps(entry_json)
+            # A partition constrained on a non-JSON value (exotic dataset
+            # domain) is simply not persisted; everything else still is.
+            # fairlint: disable=FL007 -- documented skip of one memo entry
+            except (TypeError, ValueError):
+                continue
+            np.ascontiguousarray(indices, dtype=np.int64).tofile(
+                directory / str(entry_json["indices"])
+            )
+            memo_manifest.append(entry_json)
+        manifest: Dict[str, object] = {
+            "format": STORE_BUNDLE_FORMAT,
+            "version": STORE_BUNDLE_VERSION,
+            "rows": int(vector.size),
+            "dataset": self.dataset.name,
+            "function": self.function.name,
+            "dataset_fingerprint": fingerprint_dataset(self.dataset),
+            "function_fingerprint": fingerprint_function(self.function),
+            "vector": "vector.bin",
+            "bin_codes": codes_manifest,
+            "partitions": memo_manifest,
+        }
+        (directory / "manifest.json").write_text(
+            json.dumps(manifest, indent=2) + "\n", encoding="utf-8"
+        )
+        return manifest
+
+    @classmethod
+    def load(
+        cls,
+        directory: Union[str, Path],
+        dataset: Dataset,
+        function: ScoringFunction,
+        *,
+        max_partitions: Optional[int] = DEFAULT_MAX_PARTITIONS,
+        trust_uids: bool = False,
+    ) -> "ScoreStore":
+        """Rebuild a warm store from :meth:`save` output, fingerprint-verified.
+
+        The bundle's recorded (dataset, function) fingerprints must match
+        the *live* objects, and every buffer must have exactly the recorded
+        element count — drift, truncation or foreign content raises
+        :class:`~repro.errors.WarmStartError` (with a stable ``reason``) so
+        callers fall back to cold compute instead of serving wrong scores.
+        The loaded vector does **not** count as a scoring pass:
+        ``stats.scoring_passes`` stays 0 until a genuine recompute happens.
+        """
+        directory = Path(directory)
+        from repro.service.fingerprint import fingerprint_dataset, fingerprint_function
+
+        try:
+            raw = (directory / "manifest.json").read_text(encoding="utf-8")
+        except OSError as error:
+            raise WarmStartError(
+                f"cannot read score-store manifest in {directory}: {error}",
+                reason="manifest",
+            ) from None
+        try:
+            manifest = json.loads(raw)
+        except ValueError as error:
+            raise WarmStartError(
+                f"score-store manifest in {directory} is not valid JSON: {error}",
+                reason="manifest",
+            ) from None
+        if not isinstance(manifest, dict) or manifest.get("format") != STORE_BUNDLE_FORMAT:
+            raise WarmStartError(
+                f"{directory} does not hold a score-store bundle "
+                f"(format {manifest.get('format') if isinstance(manifest, dict) else None!r})",
+                reason="manifest",
+            )
+        if manifest.get("version") != STORE_BUNDLE_VERSION:
+            raise WarmStartError(
+                f"score-store bundle version {manifest.get('version')!r} is not "
+                f"supported (this build reads version {STORE_BUNDLE_VERSION})",
+                reason="manifest",
+            )
+        try:
+            return cls._load_verified(
+                directory, manifest, dataset, function,
+                dataset_fingerprint=fingerprint_dataset(dataset),
+                function_fingerprint=fingerprint_function(function),
+                max_partitions=max_partitions,
+                trust_uids=trust_uids,
+            )
+        except FaiRankError:
+            raise
+        except (KeyError, TypeError, ValueError) as error:
+            # A structurally mangled manifest (missing fields, wrong types)
+            # is a bundle problem, not a caller bug.
+            raise WarmStartError(
+                f"score-store manifest in {directory} is malformed: {error!r}",
+                reason="manifest",
+            ) from None
+
+    @classmethod
+    def _load_verified(
+        cls,
+        directory: Path,
+        manifest: Dict[str, object],
+        dataset: Dataset,
+        function: ScoringFunction,
+        *,
+        dataset_fingerprint: str,
+        function_fingerprint: str,
+        max_partitions: Optional[int],
+        trust_uids: bool,
+    ) -> "ScoreStore":
+        rows = int(manifest["rows"])  # type: ignore[arg-type]
+        if rows != len(dataset):
+            raise WarmStartError(
+                f"score-store bundle covers {rows} rows but dataset "
+                f"{dataset.name!r} has {len(dataset)}",
+                reason="fingerprint",
+            )
+        if manifest.get("dataset_fingerprint") != dataset_fingerprint:
+            raise WarmStartError(
+                f"score-store bundle was built over different dataset content "
+                f"than the live {dataset.name!r} (fingerprint drift)",
+                reason="fingerprint",
+            )
+        if manifest.get("function_fingerprint") != function_fingerprint:
+            raise WarmStartError(
+                f"score-store bundle was built for different function content "
+                f"than the live {function.name!r} (fingerprint drift)",
+                reason="fingerprint",
+            )
+        store = cls(
+            dataset, function, max_partitions=max_partitions, trust_uids=trust_uids
+        )
+        vector = _read_array(directory, manifest["vector"], np.float64, rows)
+        vector.setflags(write=False)
+        # Assigned directly — a warm load is not a scoring pass, so the
+        # store-pool accounting can prove a restarted fleet never re-scored.
+        store._vector = vector
+        for entry in manifest.get("bin_codes", ()):  # type: ignore[union-attr]
+            binning = _binning_from_json(entry["binning"])
+            codes = _read_array(directory, entry["file"], np.int64, rows)
+            if codes.size and (codes.min() < 0 or codes.max() > binning.bins):
+                raise WarmStartError(
+                    f"score-store bin codes for {binning} fall outside "
+                    f"[0, {binning.bins}] (corrupted bundle)",
+                    reason="truncated",
+                )
+            codes = codes.astype(np.intp, copy=False)
+            codes.setflags(write=False)
+            store._bin_codes[binning] = codes
+        for entry in manifest.get("partitions", ()):  # type: ignore[union-attr]
+            key = tuple(
+                (str(attribute), value) for attribute, value in entry["key"]
+            )
+            indices = _read_array(directory, entry["indices"], np.int64, None)
+            if indices.size > rows or (
+                indices.size and (indices.min() < 0 or indices.max() >= rows)
+            ):
+                raise WarmStartError(
+                    f"score-store partition indices for key {key!r} fall outside "
+                    f"the dataset's {rows} rows (corrupted bundle)",
+                    reason="truncated",
+                )
+            indices = indices.astype(np.intp, copy=False)
+            indices.setflags(write=False)
+            loaded = _Entry(indices)
+            for memo in entry.get("histograms", ()):
+                binning = _binning_from_json(memo["binning"])
+                loaded.histograms[binning] = Histogram(
+                    binning=binning,
+                    counts=tuple(int(count) for count in memo["counts"]),
+                )
+            store._partitions[key] = loaded
+        store._evict_over_bound_locked()
+        return store
 
     # -- introspection ----------------------------------------------------------
 

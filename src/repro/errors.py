@@ -70,3 +70,17 @@ class ServiceError(FaiRankError):
 
 class CatalogError(FaiRankError):
     """A resource-registry operation was invalid (unknown name, frozen entry...)."""
+
+
+class WarmStartError(FaiRankError):
+    """A warm-start bundle component cannot be loaded (drift, truncation...).
+
+    ``reason`` is a stable, low-cardinality label (``manifest``,
+    ``fingerprint``, ``truncated``, ...) surfaced on the
+    ``fairank_warmstart_skips_total`` metric family, so operators can tell a
+    stale bundle from a corrupted one without reading logs.
+    """
+
+    def __init__(self, message: str, reason: str = "invalid") -> None:
+        super().__init__(message)
+        self.reason = reason

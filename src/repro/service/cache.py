@@ -76,8 +76,10 @@ class LRUCache:
     max_cost:
         Optional bound on the sum of entry costs; when exceeded the least
         recently used entries are evicted until the total fits.  A single
-        entry costlier than ``max_cost`` is still admitted (and is the only
-        entry left) so that pathological requests stay cacheable.
+        entry costlier than ``max_cost`` is refused at insert time (counted
+        as an eviction) — the cache stays within budget even with one entry,
+        and a pathological request can never pin the budget forever or wipe
+        every cheaper entry to make room for itself.
     """
 
     def __init__(self, capacity: int = 256, max_cost: Optional[float] = None) -> None:
@@ -123,6 +125,13 @@ class LRUCache:
             if key in self._entries:
                 _, old_cost = self._entries.pop(key)
                 self._total_cost -= old_cost
+            if self.max_cost is not None and cost > self.max_cost:
+                # An entry that alone busts the cost budget is evicted right
+                # at insert: admitting it would either pin it forever (it can
+                # never be the one evicted back under budget) or flush every
+                # cheaper entry to make room for it.
+                self._evictions += 1
+                return
             self._entries[key] = (value, cost)
             self._total_cost += cost
             self._evict_over_budget_locked()
@@ -131,7 +140,7 @@ class LRUCache:
         while len(self._entries) > self.capacity:
             self._evict_lru_locked()
         if self.max_cost is not None:
-            while self._total_cost > self.max_cost and len(self._entries) > 1:
+            while self._total_cost > self.max_cost and self._entries:
                 self._evict_lru_locked()
 
     def _evict_lru_locked(self) -> None:
@@ -145,19 +154,34 @@ class LRUCache:
             entry = self._entries.pop(key, _ABSENT)
             if entry is _ABSENT:
                 return False
-            self._total_cost -= entry[1]
+            # Exact recompute instead of `-=`: repeated float add/subtract
+            # drifts over a long-lived service, and a drifted total either
+            # over-evicts or lets the budget leak.
+            self._total_cost = float(sum(cost for _, cost in self._entries.values()))
             return True
 
     def clear(self) -> None:
         """Drop every entry (statistics counters are kept)."""
         with self._lock:
             self._entries.clear()
+            # Exact by construction: an empty cache carries zero cost.
             self._total_cost = 0.0
 
     def values(self) -> Tuple[object, ...]:
         """Snapshot of the cached values, least recently used first."""
         with self._lock:
             return tuple(value for value, _ in self._entries.values())
+
+    def items(self) -> Tuple[Tuple[str, object, float], ...]:
+        """Snapshot of ``(key, value, cost)`` triples, least recently used first.
+
+        Re-inserting the triples in this order into an empty cache (the
+        warm-start reload path) reproduces the recency order exactly.
+        """
+        with self._lock:
+            return tuple(
+                (key, value, cost) for key, (value, cost) in self._entries.items()
+            )
 
     # -- memoisation ----------------------------------------------------------
 

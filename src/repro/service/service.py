@@ -28,6 +28,7 @@ import marshal
 import re
 import time
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.catalog import Catalog, ResourceKind
@@ -203,6 +204,7 @@ class FairnessService:
         cache: Optional[LRUCache] = None,
         max_stores: int = 32,
         catalog: Optional[Catalog] = None,
+        warm_dir: Optional[Union[str, Path]] = None,
     ) -> None:
         if max_stores < 1:
             raise ServiceError(f"max_stores must be >= 1, got {max_stores}")
@@ -212,6 +214,54 @@ class FairnessService:
         # The store pool is itself an LRUCache: thread-safe LRU with
         # hit/miss/eviction stats and single-flight store construction.
         self._store_pool = LRUCache(max_stores)
+        # Where warm-start bundles live; the constructor only records the
+        # path — callers invoke load_warm_state() once the catalogue is
+        # populated (fingerprint verification needs the live resources).
+        self.warm_dir = Path(warm_dir) if warm_dir is not None else None
+
+    # -- warm-start persistence ------------------------------------------------
+
+    def load_warm_state(
+        self, directory: Optional[Union[str, Path]] = None
+    ) -> Optional[Dict[str, int]]:
+        """Reload warm state from ``directory`` (default: ``warm_dir``).
+
+        A no-op returning ``None`` when no directory is configured.  Load
+        failures never propagate: each component is individually verified and
+        skipped on mismatch (see :mod:`repro.service.warmstart`), so a stale
+        or corrupted bundle degrades to a cold boot, never a crashed one.
+        """
+        target = Path(directory) if directory is not None else self.warm_dir
+        if target is None:
+            return None
+        from repro.service.warmstart import load_warm_state
+
+        return load_warm_state(self, target)
+
+    def save_warm_state(
+        self, directory: Optional[Union[str, Path]] = None
+    ) -> Optional[Dict[str, object]]:
+        """Persist warm state to ``directory`` (default: ``warm_dir``).
+
+        A no-op returning ``None`` when no directory is configured.  Save
+        errors are reported as a structured event rather than raised — a
+        shutdown must always complete, warm bundle or not.
+        """
+        target = Path(directory) if directory is not None else self.warm_dir
+        if target is None:
+            return None
+        from repro.obs.log import get_logger
+        from repro.service.warmstart import save_warm_state
+
+        try:
+            return save_warm_state(self, target)
+        # Shutdown must finish even when the disk is full or read-only; the
+        # next boot simply comes up cold.
+        except OSError as error:
+            get_logger().event(
+                "warmstart_save_failed", directory=str(target), error=str(error)
+            )
+            return None
 
     # -- the catalogue ---------------------------------------------------------
 

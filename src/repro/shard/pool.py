@@ -136,6 +136,12 @@ class WorkerPool:
     worker_arguments:
         Extra ``fairank serve`` flags appended to every worker's command
         line (e.g. ``["--batch-workers", "32", "--verbose"]``).
+    warm_dir:
+        Optional warm-start root.  Each slot gets its own
+        ``--warm-dir <warm_dir>/slot-<n>`` (per-slot subdirectories keep
+        concurrent shutdown saves from colliding); because the flag is part
+        of the slot's boot argv, a crash-restarted replacement reloads the
+        slot's warm bundle automatically.
     command:
         Override the worker command line (tests); a callable of
         ``(snapshot_path, host) -> argv`` (``worker_arguments`` are still
@@ -152,6 +158,7 @@ class WorkerPool:
         backoff_base_s: float = 0.25,
         backoff_max_s: float = 5.0,
         worker_arguments: Sequence[str] = (),
+        warm_dir: Optional[Union[str, Path]] = None,
         command: Optional[Callable[[Path, str], Sequence[str]]] = None,
     ) -> None:
         if size < 1:
@@ -167,6 +174,7 @@ class WorkerPool:
         self.backoff_max_s = backoff_max_s
         self._command = command or _default_worker_command
         self._worker_arguments = [str(argument) for argument in worker_arguments]
+        self._warm_dir = Path(warm_dir) if warm_dir is not None else None
         self._env = _worker_env()
         self._slots: List[Optional[WorkerHandle]] = [None] * size
         self._restarts = [0] * size
@@ -321,6 +329,11 @@ class WorkerPool:
     def _boot_worker(self, slot: int) -> WorkerHandle:
         """Spawn one worker and wait for port announcement + health readiness."""
         argv = list(self._command(self.snapshot, self.host)) + self._worker_arguments
+        if self._warm_dir is not None:
+            # Per-slot bundle directories: slots save on their own shutdown
+            # without racing each other, and a crash-restarted replacement
+            # (this method re-runs with the same slot) reloads its own state.
+            argv += ["--warm-dir", str(self._warm_dir / f"slot-{slot}")]
         # The slot travels in the environment so every structured log event
         # the worker emits carries a "worker" field (see repro.obs.log).
         env = dict(self._env)

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import http.client
 import json
+import threading
 import time
 import urllib.error
 import urllib.request
@@ -223,6 +224,20 @@ class ShardRouter(V2ServerBase):
         self.retry_window_s = retry_window_s
         self.configure_observability(verbose=verbose, slow_ms=slow_ms)
         self._retried_forwards = 0
+        # Set once the router starts closing: interrupts the retry pacing of
+        # any request still sweeping the fleet, so server_close()'s drain is
+        # never stalled for the rest of a retry window.
+        self._stopping = threading.Event()
+
+    def server_close(self) -> None:
+        """Close the listener, interrupting any in-flight retry pauses first.
+
+        ``server_close`` drains (it joins in-flight handler threads); a
+        handler pacing between fleet sweeps wakes immediately and answers
+        503 instead of serving out up to ``retry_window_s`` of sleep.
+        """
+        self._stopping.set()
+        super().server_close()
 
     # -- routing / forwarding --------------------------------------------------
 
@@ -316,9 +331,19 @@ class ShardRouter(V2ServerBase):
                     f"{self.pool.alive_count}/{self.pool.size} workers alive)"
                 )
             # Retry pacing between fleet sweeps; bounded by the retry-window
-            # deadline above and holds no lock while paused.
-            # fairlint: disable=FL006 -- deadline-bounded retry pacing
-            time.sleep(0.05)
+            # deadline above and holds no lock while paused.  Stop-aware: a
+            # closing router wakes the pause instead of stalling the drain.
+            if self._stopping.wait(timeout=0.05):
+                self.obs.event(
+                    "forward_abandoned",
+                    path=path,
+                    failures=failures,
+                    trace_id=current_trace_id(),
+                )
+                raise ServiceError(
+                    f"the router is shutting down; abandoned {method} {path} "
+                    f"after {failures} failed forward(s)"
+                )
 
     @staticmethod
     def annotate_envelope(relayed: bytes, route_ms: float) -> bytes:

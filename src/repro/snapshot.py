@@ -54,6 +54,8 @@ __all__ = [
     "save_catalog",
     "load_catalog",
     "snapshot_fingerprints",
+    "function_to_portable_json",
+    "function_from_portable_json",
 ]
 
 #: Identifies a snapshot file (so arbitrary JSON is rejected loudly).
@@ -219,6 +221,24 @@ def _function_from_json(payload: Mapping[str, object]):
         name=str(payload.get("name", "linear")),
         normalize=False,
     )
+
+
+def function_to_portable_json(function, context: str = "scoring function") -> Dict[str, object]:
+    """Portable JSON for a scoring function (warm-start bundles, snapshots).
+
+    Raises :class:`~repro.errors.CatalogError` for function types without a
+    portable content representation — callers skip those, they don't crash.
+    """
+    return _function_to_json(function, context)
+
+
+def function_from_portable_json(payload: Mapping[str, object]):
+    """Rebuild a scoring function from :func:`function_to_portable_json` output.
+
+    Weights are preserved bit-for-bit so the rebuilt function's content
+    fingerprint matches the one recorded at save time.
+    """
+    return _function_from_json(payload)
 
 
 # -- filters ------------------------------------------------------------------

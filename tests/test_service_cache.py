@@ -69,11 +69,53 @@ class TestEviction:
         assert cache.stats.total_cost == pytest.approx(8.0)
         assert cache.stats.evictions == 1
 
-    def test_single_oversized_entry_is_admitted(self):
+    def test_oversized_entry_is_evicted_on_insert(self):
+        # Regression: an entry costlier than max_cost used to be admitted and
+        # then pinned forever by the `len(entries) > 1` guard of the budget
+        # sweep, permanently busting the budget.
         cache = LRUCache(capacity=10, max_cost=5.0)
         cache.put("big", "value", cost=50.0)
-        assert cache.get("big") == "value"
-        assert len(cache) == 1
+        assert "big" not in cache
+        assert len(cache) == 0
+        assert cache.stats.total_cost == pytest.approx(0.0)
+        assert cache.stats.evictions == 1
+
+    def test_oversized_insert_keeps_cheaper_entries(self):
+        # Refusing the oversized entry must not flush the entries that fit.
+        cache = LRUCache(capacity=10, max_cost=5.0)
+        cache.put("a", 1, cost=2.0)
+        cache.put("b", 2, cost=2.0)
+        cache.put("big", "value", cost=50.0)
+        assert "a" in cache and "b" in cache and "big" not in cache
+        assert cache.stats.total_cost == pytest.approx(4.0)
+
+    def test_oversized_refresh_drops_the_existing_entry(self):
+        # Refreshing a resident key with an oversized cost removes it: the
+        # stale value must not keep serving under the budget it no longer fits.
+        cache = LRUCache(capacity=10, max_cost=5.0)
+        cache.put("k", "small", cost=1.0)
+        cache.put("k", "huge", cost=9.0)
+        assert "k" not in cache
+        assert cache.stats.total_cost == pytest.approx(0.0)
+
+    def test_total_cost_stays_exact_under_repeated_churn(self):
+        # Regression: invalidate() used `-=`, so thousands of float add /
+        # subtract cycles drifted total_cost away from the true sum.
+        cache = LRUCache(capacity=10, max_cost=100.0)
+        cache.put("anchor", 0, cost=3.3)
+        for index in range(5000):
+            cache.put("churn", index, cost=0.1)
+            cache.invalidate("churn")
+        assert cache.stats.total_cost == 3.3  # exact: recomputed, not drifted
+        cache.clear()
+        assert cache.stats.total_cost == 0.0
+
+    def test_items_snapshot_preserves_recency_order(self):
+        cache = LRUCache(capacity=4)
+        cache.put("a", 1, cost=1.0)
+        cache.put("b", 2, cost=2.0)
+        cache.get("a")  # refresh: b becomes LRU
+        assert cache.items() == (("b", 2, 2.0), ("a", 1, 1.0))
 
 
 class TestGetOrCompute:

@@ -6,6 +6,7 @@ import re
 import signal
 import subprocess
 import sys
+import threading
 import time
 import urllib.error
 import urllib.request
@@ -411,6 +412,163 @@ class TestFailureRecovery:
         while time.monotonic() < deadline and replacement.poll() is None:
             time.sleep(0.05)
         assert replacement.poll() is not None, "stop() orphaned the mid-boot worker"
+
+
+class TestShutdownUnderRetry:
+    def test_server_close_interrupts_the_retry_window(self, snapshot):
+        """Regression: retry pacing used a bare sleep, so closing the router
+        while a request swept a dead fleet stalled the drain for the rest of
+        the retry window.  The stop-aware pause must wake immediately."""
+        # One worker, huge restart backoff: once killed, the fleet stays
+        # empty and a forward paces inside its (long) retry window.
+        pool = WorkerPool(snapshot, 1, backoff_base_s=60.0, backoff_max_s=60.0)
+        pool.start()
+        router = ShardRouter(
+            pool,
+            fingerprints=snapshot_fingerprints(snapshot),
+            retry_window_s=60.0,
+        )
+        router.serve_in_background()
+        statuses = []
+        try:
+            victim = pool.peek(0)
+            victim.process.kill()
+            victim.process.wait(timeout=10)
+
+            def fire():
+                request = urllib.request.Request(
+                    f"{router.base_url}/v2/quantify",
+                    data=json.dumps(
+                        {"dataset": "table1", "function": "table1-f"}
+                    ).encode(),
+                    method="POST",
+                )
+                try:
+                    with urllib.request.urlopen(request, timeout=120) as response:
+                        statuses.append(response.status)
+                except urllib.error.HTTPError as error:
+                    error.read()
+                    statuses.append(error.code)
+
+            requester = threading.Thread(target=fire)
+            requester.start()
+            time.sleep(1.0)  # let the request enter the retry pacing loop
+            closed_in = time.monotonic()
+        finally:
+            router.shutdown()
+            router.server_close()  # drains: joins the in-flight handler
+            pool.stop()
+        elapsed = time.monotonic() - closed_in
+        assert elapsed < 10, f"server_close() stalled {elapsed:.1f}s behind the retry window"
+        requester.join(timeout=10)
+        assert statuses == [503], "the paced request must answer 503, not hang"
+
+
+class TestWarmRestart:
+    """--warm-dir: a restarted fleet serves hot, byte-identically."""
+
+    def _boot(self, snapshot, warm_root, size=2):
+        pool = WorkerPool(
+            snapshot, size, backoff_base_s=0.1, backoff_max_s=1.0,
+            warm_dir=warm_root,
+        )
+        pool.start()
+        router = ShardRouter(pool, fingerprints=snapshot_fingerprints(snapshot))
+        router.serve_in_background()
+        return pool, router, HTTPFairnessClient(router.base_url, timeout=120.0)
+
+    @staticmethod
+    def _stop(pool, router):
+        router.shutdown()
+        router.server_close()
+        pool.stop()
+
+    def test_restarted_fleet_serves_byte_identical_and_warm(
+        self, snapshot, tmp_path, reference
+    ):
+        warm_root = tmp_path / "warm"
+        expected = {
+            "table1-f": reference.quantify("table1", "table1-f").canonical(),
+            "balanced": reference.quantify("table1", "balanced").canonical(),
+        }
+        pool, router, client = self._boot(snapshot, warm_root)
+        try:
+            for function, canonical in expected.items():
+                assert client.quantify("table1", function).canonical() == canonical
+        finally:
+            self._stop(pool, router)
+        assert list(warm_root.glob("slot-*/manifest.json")), (
+            "graceful shutdown saved no warm bundle"
+        )
+
+        pool, router, client = self._boot(snapshot, warm_root)
+        try:
+            # Before any traffic: the reloaded pool already holds stores,
+            # and not a single scoring pass has run.
+            pools = [
+                entry["store_pool"]
+                for entry in client.health()["workers"]["health"]
+            ]
+            assert sum(stats["stores"] for stats in pools) >= 1
+            assert sum(stats["scoring_passes"] for stats in pools) == 0
+            for function, canonical in expected.items():
+                result = client.quantify("table1", function)
+                assert result.canonical() == canonical
+                assert result.cached, "warm results must serve from the cache"
+            # Serving those requests still required no re-scoring pass.
+            pools = [
+                entry["store_pool"]
+                for entry in client.health()["workers"]["health"]
+            ]
+            assert sum(stats["scoring_passes"] for stats in pools) == 0
+        finally:
+            self._stop(pool, router)
+
+    def test_crash_restarted_slot_reloads_its_warm_bundle(
+        self, snapshot, tmp_path, reference
+    ):
+        warm_root = tmp_path / "warm"
+        expected = reference.quantify("table1", "table1-f").canonical()
+        pool, router, client = self._boot(snapshot, warm_root)
+        try:
+            assert client.quantify("table1", "table1-f").canonical() == expected
+            slot = worker_slot(
+                routing_key(
+                    request_references(
+                        {"dataset": "table1", "function": "table1-f"}
+                    ),
+                    router.fingerprints,
+                ),
+                pool.size,
+            )
+            victim = pool.peek(slot)
+            # SIGTERM is graceful: the worker drains and saves its bundle...
+            victim.process.send_signal(signal.SIGTERM)
+            victim.process.wait(timeout=30)
+            # ...then the pool heals the slot with a replacement booted from
+            # the same argv — including its per-slot --warm-dir.
+            deadline = time.monotonic() + 30
+            handle = None
+            while time.monotonic() < deadline:
+                pool.candidates(slot)  # reap + schedule the backoff restart
+                handle = pool.peek(slot)
+                if handle is not None and handle is not victim:
+                    break
+                time.sleep(0.2)
+            assert handle is not None and handle is not victim, "slot never healed"
+            result = client.quantify("table1", "table1-f")
+            assert result.canonical() == expected
+            assert result.cached, "the replacement must reload the result cache"
+            # The replacement's own health proves the warm reload: stores
+            # are back without a scoring pass.
+            with urllib.request.urlopen(
+                f"{handle.base_url}/v2/health", timeout=10
+            ) as response:
+                payload = json.loads(response.read())
+            assert payload["store_pool"]["stores"] >= 1
+            assert payload["store_pool"]["scoring_passes"] == 0
+        finally:
+            self._stop(pool, router)
 
 
 class TestTracePropagation:
